@@ -1,0 +1,44 @@
+# Development targets for the kqr repository.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments demo clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full benchmark pass: every paper table/figure plus substrate
+# micro-benchmarks and ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over the parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s .
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=20s ./internal/textindex/
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md data).
+experiments:
+	$(GO) run ./cmd/kqr-bench
+	$(GO) run ./cmd/kqr-bench -exp fig5 -seeds 5
+	$(GO) run ./cmd/kqr-bench -exp ablation
+
+demo:
+	$(GO) run ./cmd/kqr-demo -query "probabilistic ranking" -facets
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,153 @@
+// Command kqr-demo reproduces the paper's Figure 6 experience in a
+// terminal: it runs a keyword query over a bibliographic corpus and
+// shows the traditional search results next to the ranked reformulated
+// queries.
+//
+//	kqr-demo -query "probabilistic ranking"
+//	kqr-demo -query '"Wei Zhang" skyline' -k 8
+//	kqr-demo -similar probabilistic          # inspect the offline relations
+//	kqr-demo -close probabilistic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+func main() {
+	var (
+		query   = flag.String("query", "", "keyword query; quote multi-word terms")
+		similar = flag.String("similar", "", "show terms similar to this term and exit")
+		closeTo = flag.String("close", "", "show terms closest to this term and exit")
+		facets  = flag.Bool("facets", false, "also show faceted exploration of the query")
+		explain = flag.Bool("explain", false, "show per-slot evidence for each suggestion")
+		k       = flag.Int("k", 5, "number of reformulated queries")
+		seed    = flag.Int64("seed", 20120401, "corpus seed")
+		papers  = flag.Int("papers", 3000, "corpus size in papers")
+		mode    = flag.String("similarity", "contextual", "similarity mode: contextual, individual, cooccurrence")
+	)
+	flag.Parse()
+	if err := run(*query, *similar, *closeTo, *k, *seed, *papers, *mode, *facets, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "kqr-demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, similar, closeTo string, k int, seed int64, papers int, mode string, showFacets, explain bool) error {
+	var simMode kqr.SimilarityMode
+	switch mode {
+	case "contextual":
+		simMode = kqr.ContextualWalk
+	case "individual":
+		simMode = kqr.IndividualWalk
+	case "cooccurrence":
+		simMode = kqr.Cooccurrence
+	default:
+		return fmt.Errorf("unknown similarity mode %q", mode)
+	}
+
+	fmt.Println("building corpus and TAT graph...")
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: seed, Papers: papers})
+	if err != nil {
+		return err
+	}
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{Similarity: simMode})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %s\ngraph:   %s\n\n", corpus.Dataset.Stats(), eng.GraphStats())
+
+	switch {
+	case similar != "":
+		terms, err := eng.SimilarTerms(similar, 15)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("terms similar to %q (%s):\n", similar, mode)
+		for i, rt := range terms {
+			fmt.Printf("  %2d. %-25s %-20s %.3f\n", i+1, rt.Term, "("+rt.Field+")", rt.Score)
+		}
+		return nil
+	case closeTo != "":
+		terms, err := eng.CloseTerms(closeTo, 15, "")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("terms closest to %q:\n", closeTo)
+		for i, rt := range terms {
+			fmt.Printf("  %2d. %-25s %-20s %.4f\n", i+1, rt.Term, "("+rt.Field+")", rt.Score)
+		}
+		return nil
+	case query == "":
+		return fmt.Errorf("pass -query, -similar or -close (try -query \"probabilistic ranking\")")
+	}
+
+	terms, err := kqr.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+
+	// Left pane of Fig. 6: traditional keyword search results.
+	results, total, err := eng.Search(terms)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== search results for %q (%d total) ===\n", query, total)
+	max := 8
+	for i, r := range results {
+		if i >= max {
+			fmt.Printf("  ... and %d more\n", total-max)
+			break
+		}
+		fmt.Printf("  [cost %d] %v\n", r.Cost, r.Tuples)
+	}
+	if total == 0 {
+		fmt.Println("  (no results)")
+	}
+
+	// Right pane of Fig. 6: ranked reformulated queries.
+	sugs, err := eng.Reformulate(terms, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n=== reformulated queries ===\n")
+	if len(sugs) == 0 {
+		fmt.Println("  (none found)")
+	}
+	for i, s := range sugs {
+		_, n, err := eng.Search(s.Terms)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d. %-45s (score %.2e, %d results)\n", i+1, s.String(), s.Score, n)
+		if explain && len(s.Terms) == len(terms) {
+			exps, err := eng.Explain(terms, s.Terms)
+			if err != nil {
+				return err
+			}
+			for _, ex := range exps {
+				fmt.Printf("       %-14s -> %-14s sim=%.3f clos(prev)=%.4f\n",
+					ex.Original, ex.Substitute, ex.Sim, ex.PrevCloseness)
+			}
+		}
+	}
+
+	if showFacets {
+		fs, err := eng.Facets(terms, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== explore by facet ===\n")
+		for _, f := range fs {
+			fmt.Printf("  %s:\n", f.Field)
+			for _, rt := range f.Terms {
+				fmt.Printf("    %-30s %.2f\n", rt.Term, rt.Score)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command kqr-server runs the JSON API over a corpus — the backend for
+// an Ajax-style query interface like the paper's Figure 6 demo.
+//
+//	kqr-server -addr :8080 -papers 3000
+//	curl 'localhost:8080/api/reformulate?q=probabilistic+ranking&k=5'
+//	curl 'localhost:8080/api/facets?q=probabilistic'
+//
+// With -relations the offline stage for the whole title vocabulary is
+// precomputed at startup (and cached to the given file across restarts),
+// trading startup time for uniformly warm query latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kqr"
+	"kqr/server"
+	"kqr/synthetic"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 20120401, "corpus seed")
+		papers    = flag.Int("papers", 3000, "corpus size in papers")
+		relations = flag.String("relations", "", "path for cached precomputed relations (optional)")
+	)
+	flag.Parse()
+	if err := run(*addr, *seed, *papers, *relations); err != nil {
+		fmt.Fprintln(os.Stderr, "kqr-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, papers int, relationsPath string) error {
+	fmt.Println("building corpus and TAT graph...")
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: seed, Papers: papers})
+	if err != nil {
+		return err
+	}
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %s\ngraph:   %s\n", corpus.Dataset.Stats(), eng.GraphStats())
+
+	if relationsPath != "" {
+		if err := loadOrPrecompute(eng, corpus, relationsPath); err != nil {
+			return err
+		}
+	}
+
+	srv, err := server.New(eng, server.WithDatasetStats(corpus.Dataset.Stats()))
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(addr)
+}
+
+// loadOrPrecompute restores cached relations when present, otherwise
+// precomputes the topic vocabulary and writes the cache.
+func loadOrPrecompute(eng *kqr.Engine, corpus *synthetic.Corpus, path string) error {
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		if err := eng.LoadRelations(f); err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		fmt.Println("restored precomputed relations from", path)
+		return nil
+	}
+	fmt.Println("precomputing term relations (first start)...")
+	var vocab []string
+	for t := 0; t < len(corpus.Topics()); t++ {
+		vocab = append(vocab, corpus.TopicTerms(t)...)
+	}
+	if err := eng.PrecomputeTerms(vocab); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eng.SaveRelations(f); err != nil {
+		return err
+	}
+	fmt.Println("saved precomputed relations to", path)
+	return nil
+}

@@ -1,0 +1,65 @@
+package kqr
+
+import "fmt"
+
+// ReformulateDiverse suggests up to k substitutive queries selected for
+// diversity as well as score: candidates are re-ranked greedily,
+// discounting each suggestion by its term overlap with the suggestions
+// already chosen (maximal-marginal-relevance style). penalty in [0,1]
+// controls the trade-off — 0 reduces to Reformulate's order, 1 fully
+// discounts a suggestion that reuses all its terms.
+//
+// The paper highlights that good reformulations are "novel and diverse,
+// beyond the returned papers and initial input query" (§VI-B); plain
+// top-k often spends its slots on near-duplicates that differ in one
+// low-weight slot.
+func (e *Engine) ReformulateDiverse(terms []string, k int, penalty float64) ([]Suggestion, error) {
+	if penalty < 0 || penalty > 1 {
+		return nil, fmt.Errorf("kqr: diversity penalty %v outside [0,1]", penalty)
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Over-fetch so re-ranking has material to choose from.
+	pool, err := e.Reformulate(terms, 4*k)
+	if err != nil {
+		return nil, err
+	}
+	if len(pool) <= 1 || penalty == 0 {
+		if len(pool) > k {
+			pool = pool[:k]
+		}
+		return pool, nil
+	}
+	selected := make([]Suggestion, 0, k)
+	used := make([]bool, len(pool))
+	chosenTerms := make(map[string]bool)
+	for len(selected) < k {
+		bestIdx, bestScore := -1, 0.0
+		for i, s := range pool {
+			if used[i] {
+				continue
+			}
+			overlap := 0
+			for _, term := range s.Terms {
+				if chosenTerms[term] {
+					overlap++
+				}
+			}
+			frac := float64(overlap) / float64(len(s.Terms))
+			adjusted := s.Score * (1 - penalty*frac)
+			if bestIdx < 0 || adjusted > bestScore {
+				bestIdx, bestScore = i, adjusted
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		selected = append(selected, pool[bestIdx])
+		for _, term := range pool[bestIdx].Terms {
+			chosenTerms[term] = true
+		}
+	}
+	return selected, nil
+}

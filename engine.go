@@ -1,0 +1,346 @@
+package kqr
+
+import (
+	"fmt"
+	"strings"
+
+	"kqr/internal/closeness"
+	"kqr/internal/cooccur"
+	"kqr/internal/core"
+	"kqr/internal/graph"
+	"kqr/internal/keywordsearch"
+	"kqr/internal/randomwalk"
+	"kqr/internal/tatgraph"
+	"kqr/internal/textindex"
+)
+
+// SimilarityMode selects the offline term-similarity model.
+type SimilarityMode int
+
+const (
+	// ContextualWalk is the paper's improved random walk (Algorithm 1):
+	// restart at the term's weighted context. The default.
+	ContextualWalk SimilarityMode = iota
+	// IndividualWalk restarts at the term itself (the basic model the
+	// paper improves on; kept for ablation).
+	IndividualWalk
+	// Cooccurrence ranks by shared-tuple counts (the paper's baseline).
+	Cooccurrence
+)
+
+// String names the mode.
+func (m SimilarityMode) String() string {
+	switch m {
+	case IndividualWalk:
+		return "individual-walk"
+	case Cooccurrence:
+		return "cooccurrence"
+	default:
+		return "contextual-walk"
+	}
+}
+
+// DecodeAlgorithm selects the online top-k decoder.
+type DecodeAlgorithm int
+
+const (
+	// AStar is the paper's Algorithm 3 (Viterbi forward + A* backward),
+	// the default.
+	AStar DecodeAlgorithm = iota
+	// TopKViterbi is the paper's Algorithm 2.
+	TopKViterbi
+)
+
+// Options tunes an Engine. Zero values take the documented defaults.
+type Options struct {
+	// Similarity selects the offline similarity model.
+	Similarity SimilarityMode
+	// Damping is the random-walk restart complement λ (default 0.8).
+	Damping float64
+	// CandidatesPerTerm is the per-slot candidate list size n
+	// (default 10).
+	CandidatesPerTerm int
+	// SmoothingLambda is the Eq. 5–6 smoothing weight (default 0.8;
+	// 1 disables smoothing).
+	SmoothingLambda float64
+	// ClosenessMaxLen bounds closeness path length in hops (default 4).
+	ClosenessMaxLen int
+	// ClosenessBeam prunes each closeness BFS level to the heaviest
+	// Beam nodes (0 = exact).
+	ClosenessBeam int
+	// Algorithm selects the decoder (default AStar).
+	Algorithm DecodeAlgorithm
+	// AllowDeletion adds void states so suggestions may drop terms.
+	AllowDeletion bool
+	// DropOriginal removes the original term from each slot's
+	// candidates, forcing full reformulations.
+	DropOriginal bool
+	// SearchMaxResults caps materialized search result trees
+	// (default 50).
+	SearchMaxResults int
+	// SearchMaxRadius bounds the keyword-search join radius (default 3).
+	SearchMaxRadius int
+	// Phrases also indexes recurring adjacent-word pairs of segmented
+	// fields as topical phrases ("association rules"), so queries can
+	// match and substitute them (Definition 2 allows a keyword to be "a
+	// word or a topical phrase").
+	Phrases bool
+	// FoldPlurals folds regular English plurals onto their singular
+	// during tokenization ("queries" and "query" share one term node).
+	FoldPlurals bool
+}
+
+// Engine is the opened reformulation system: the TAT graph plus the
+// offline extractors and the online generator. It is safe for
+// concurrent readers.
+type Engine struct {
+	tg       *tatgraph.Graph
+	sim      core.SimilarityProvider
+	clos     *closeness.Store
+	core     *core.Engine
+	searcher *keywordsearch.Searcher
+	opts     Options
+}
+
+// Open builds the TAT graph over the dataset and wires the offline and
+// online stages. Building cost is linear in the data size; similarity
+// and closeness are computed lazily per term and cached.
+func Open(d *Dataset, opts Options) (*Engine, error) {
+	if d == nil {
+		return nil, fmt.Errorf("kqr: nil dataset")
+	}
+	d.frozen = true
+	var tokOpts []textindex.TokenizerOption
+	if opts.FoldPlurals {
+		tokOpts = append(tokOpts, textindex.WithPluralFolding())
+	}
+	tg, err := tatgraph.Build(d.db, tatgraph.Options{
+		Phrases:   opts.Phrases,
+		Tokenizer: textindex.NewTokenizer(tokOpts...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sim core.SimilarityProvider
+	switch opts.Similarity {
+	case ContextualWalk:
+		sim = randomwalk.NewExtractor(tg, randomwalk.Contextual, randomwalk.Options{Damping: opts.Damping})
+	case IndividualWalk:
+		sim = randomwalk.NewExtractor(tg, randomwalk.Individual, randomwalk.Options{Damping: opts.Damping})
+	case Cooccurrence:
+		sim = cooccur.NewExtractor(tg)
+	default:
+		return nil, fmt.Errorf("kqr: unknown similarity mode %d", int(opts.Similarity))
+	}
+	clos, err := closeness.New(tg, closeness.Options{MaxLen: opts.ClosenessMaxLen, Beam: opts.ClosenessBeam})
+	if err != nil {
+		return nil, err
+	}
+	alg := core.AlgAStar
+	if opts.Algorithm == TopKViterbi {
+		alg = core.AlgTopKViterbi
+	}
+	eng, err := core.New(tg, sim, clos, core.Options{
+		CandidatesPerTerm: opts.CandidatesPerTerm,
+		SmoothingLambda:   opts.SmoothingLambda,
+		DropOriginal:      opts.DropOriginal,
+		AllowDeletion:     opts.AllowDeletion,
+		Algorithm:         alg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	searcher, err := keywordsearch.New(tg, keywordsearch.Options{
+		MaxResults: opts.SearchMaxResults,
+		MaxRadius:  opts.SearchMaxRadius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tg: tg, sim: sim, clos: clos, core: eng, searcher: searcher, opts: opts}, nil
+}
+
+// Suggestion is one reformulated query.
+type Suggestion struct {
+	// Terms is the suggested query.
+	Terms []string
+	// Score is the generation probability, comparable within one call.
+	Score float64
+}
+
+// String joins the terms, quoting multi-word ones.
+func (s Suggestion) String() string {
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		if strings.ContainsRune(t, ' ') {
+			parts[i] = `"` + t + `"`
+		} else {
+			parts[i] = t
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Reformulate suggests up to k substitutive queries for the given query
+// terms (a term may be a multi-word name). Terms must occur in the data.
+func (e *Engine) Reformulate(terms []string, k int) ([]Suggestion, error) {
+	refs, err := e.core.Reformulate(terms, k)
+	if err != nil {
+		return nil, err
+	}
+	return toSuggestions(refs), nil
+}
+
+// ReformulateQuery parses a query string — whitespace-separated terms,
+// double quotes grouping multi-word terms — and reformulates it.
+func (e *Engine) ReformulateQuery(query string, k int) ([]Suggestion, error) {
+	terms, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Reformulate(terms, k)
+}
+
+// ReformulateRankBased runs the similarity-only baseline (no closeness);
+// exposed for comparison and benchmarking.
+func (e *Engine) ReformulateRankBased(terms []string, k int) ([]Suggestion, error) {
+	refs, err := e.core.ReformulateRankBased(terms, k)
+	if err != nil {
+		return nil, err
+	}
+	return toSuggestions(refs), nil
+}
+
+func toSuggestions(refs []core.Reformulation) []Suggestion {
+	out := make([]Suggestion, len(refs))
+	for i, r := range refs {
+		out[i] = Suggestion{Terms: r.Terms, Score: r.Score}
+	}
+	return out
+}
+
+// RankedTerm is a term with provenance and score.
+type RankedTerm struct {
+	// Term is the normalized term text.
+	Term string
+	// Field is where the term lives, as "table.column".
+	Field string
+	// Score is the extractor's score (similarity or closeness),
+	// normalized within the returned list.
+	Score float64
+}
+
+// SimilarTerms returns up to k terms similar to the given term under the
+// engine's similarity mode — the offline relation behind suggestions.
+func (e *Engine) SimilarTerms(term string, k int) ([]RankedTerm, error) {
+	node, err := e.core.ResolveTerm(term)
+	if err != nil {
+		return nil, err
+	}
+	list, err := e.sim.SimilarNodes(node, k)
+	if err != nil {
+		return nil, err
+	}
+	return e.toRankedTerms(list), nil
+}
+
+// CloseTerms returns up to k terms closest to the given term
+// (the paper's Table I relation). Restrict to one field by passing its
+// "table.column" label, or "" for all fields.
+func (e *Engine) CloseTerms(term string, k int, field string) ([]RankedTerm, error) {
+	node, err := e.core.ResolveTerm(term)
+	if err != nil {
+		return nil, err
+	}
+	return e.toRankedTerms(e.clos.CloseTerms(node, k, field)), nil
+}
+
+func (e *Engine) toRankedTerms(list []graph.Scored) []RankedTerm {
+	out := make([]RankedTerm, len(list))
+	for i, sn := range list {
+		out[i] = RankedTerm{
+			Term:  e.tg.TermText(sn.Node),
+			Field: e.tg.Class(sn.Node),
+			Score: sn.Score,
+		}
+	}
+	return out
+}
+
+// SearchResult is one keyword-search answer tree, rendered.
+type SearchResult struct {
+	// Tuples describes each tuple in the tree as "table:label".
+	Tuples []string
+	// Cost is the number of join hops connecting the keywords.
+	Cost int
+}
+
+// Search runs keyword search over the tuple graph (Definition 3) and
+// returns the result trees plus the total number of results.
+func (e *Engine) Search(terms []string) ([]SearchResult, int, error) {
+	results, total, err := e.searcher.Search(terms)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]SearchResult, len(results))
+	for i, r := range results {
+		sr := SearchResult{Cost: r.Cost}
+		for _, id := range r.Tuples {
+			if node, ok := e.tg.TupleNode(id); ok {
+				sr.Tuples = append(sr.Tuples, e.tg.DisplayLabel(node))
+			}
+		}
+		out[i] = sr
+	}
+	return out, total, nil
+}
+
+// GraphStats summarizes the built TAT graph.
+func (e *Engine) GraphStats() string {
+	return fmt.Sprintf("%d nodes (%d terms), %d edges, %d components",
+		e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges(), e.tg.CSR().NumComponents())
+}
+
+// ParseQuery splits a query string into terms: whitespace separates,
+// double quotes group multi-word terms ("christian s. jensen" spatial).
+func ParseQuery(query string) ([]string, error) {
+	var terms []string
+	rest := strings.TrimSpace(query)
+	for rest != "" {
+		if rest[0] == '"' {
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("kqr: unbalanced quote in query %q", query)
+			}
+			term := strings.TrimSpace(rest[1 : 1+end])
+			if term != "" {
+				terms = append(terms, term)
+			}
+			rest = strings.TrimSpace(rest[1+end+1:])
+			continue
+		}
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			terms = append(terms, rest)
+			break
+		}
+		terms = append(terms, rest[:sp])
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("kqr: empty query")
+	}
+	return terms, nil
+}
+
+// SlotExplanation breaks down why one slot of a suggestion was chosen:
+// the substitute's similarity to the original term and its closeness to
+// the previous slot's substitute. Re-exported from the core engine.
+type SlotExplanation = core.SlotExplanation
+
+// Explain reports the per-slot evidence (similarity and closeness) for a
+// suggestion previously produced for the query. Only full-length
+// suggestions can be aligned and explained.
+func (e *Engine) Explain(query, suggestion []string) ([]SlotExplanation, error) {
+	return e.core.Explain(query, suggestion)
+}

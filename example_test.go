@@ -1,0 +1,183 @@
+package kqr_test
+
+import (
+	"fmt"
+	"log"
+
+	"kqr"
+)
+
+// tinyDataset builds the minimal corpus used by the runnable examples.
+func tinyDataset() *kqr.Dataset {
+	ds, err := kqr.NewDataset(
+		kqr.Table{
+			Name: "conferences",
+			Columns: []kqr.Column{
+				{Name: "cid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+			},
+			PrimaryKey: "cid",
+		},
+		kqr.Table{
+			Name: "papers",
+			Columns: []kqr.Column{
+				{Name: "pid", Type: kqr.TypeInt},
+				{Name: "title", Type: kqr.TypeString, Text: kqr.TextSegmented},
+				{Name: "cid", Type: kqr.TypeInt},
+			},
+			PrimaryKey:  "pid",
+			ForeignKeys: []kqr.ForeignKey{{Column: "cid", RefTable: "conferences"}},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(ds.Insert("conferences", 1, "VLDB"))
+	must(ds.Insert("papers", 1, "probabilistic query evaluation", 1))
+	must(ds.Insert("papers", 2, "probabilistic data cleaning", 1))
+	must(ds.Insert("papers", 3, "uncertain data management", 1))
+	must(ds.Insert("papers", 4, "uncertain query answering", 1))
+	return ds
+}
+
+func ExampleEngine_Reformulate() {
+	eng, err := kqr.Open(tinyDataset(), kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sugs, err := eng.Reformulate([]string{"uncertain", "data"}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sugs {
+		fmt.Println(s)
+	}
+	// Output:
+	// uncertain management
+	// management data
+	// data management
+}
+
+func ExampleEngine_SimilarTerms() {
+	eng, err := kqr.Open(tinyDataset(), kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	terms, err := eng.SimilarTerms("uncertain", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rt := range terms {
+		fmt.Println(rt.Term)
+	}
+	// Output:
+	// management
+	// answering
+}
+
+func ExampleEngine_CloseTerms() {
+	eng, err := kqr.Open(tinyDataset(), kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	terms, err := eng.CloseTerms("probabilistic", 1, "conferences.name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(terms[0].Term)
+	// Output:
+	// vldb
+}
+
+func ExampleParseQuery() {
+	terms, err := kqr.ParseQuery(`"christian s. jensen" spatio temporal`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range terms {
+		fmt.Println(t)
+	}
+	// Output:
+	// christian s. jensen
+	// spatio
+	// temporal
+}
+
+func ExampleEngine_Search() {
+	eng, err := kqr.Open(tinyDataset(), kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, total, err := eng.Search([]string{"uncertain", "data"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(total, results[0].Cost)
+	// Output:
+	// 3 0
+}
+
+func ExampleNewTripleDataset() {
+	ds, err := kqr.NewTripleDataset([]kqr.Triple{
+		{Subject: "Night Ledger", Predicate: "directedBy", Object: "Ada Vex"},
+		{Subject: "Night Ledger", Predicate: "tagline", Object: "a noir tale of debts"},
+		{Subject: "Ada Vex", Predicate: "profession", Object: "director"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ds.Stats())
+	// Output:
+	// 4 tables, 5 tuples: attr_profession=1 attr_tagline=1 entities=2 rel_directedby=1
+}
+
+func ExampleEngine_Facets() {
+	eng, err := kqr.Open(tinyDataset(), kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	facets, err := eng.Facets([]string{"probabilistic"}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range facets {
+		fmt.Println(f.Field)
+	}
+	// Output:
+	// papers.title
+	// conferences.name
+}
+
+func ExampleEngine_SegmentQuery() {
+	ds, err := kqr.NewDataset(
+		kqr.Table{Name: "authors", Columns: []kqr.Column{
+			{Name: "aid", Type: kqr.TypeInt},
+			{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+		}, PrimaryKey: "aid"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Insert("authors", 1, "Grace Hopper"); err != nil {
+		log.Fatal(err)
+	}
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	terms, err := eng.SegmentQuery("grace hopper compilers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range terms {
+		fmt.Println(t)
+	}
+	// Output:
+	// grace hopper
+	// compilers
+}

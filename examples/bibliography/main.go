@@ -1,0 +1,97 @@
+// Bibliography explorer: the paper's motivating scenario on a generated
+// DBLP-shaped corpus. For a handful of queries it prints, side by side,
+// what a user would see: search results, similar terms per query word,
+// and the top reformulated queries — including the planted quasi-synonym
+// substitutions ("probabilistic" ↔ "uncertain") that plain co-occurrence
+// analysis cannot produce.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+func main() {
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: 42, Papers: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", corpus.Dataset.Stats())
+	fmt.Println("graph:  ", eng.GraphStats())
+
+	// Mix of query shapes, as in the paper's test set: topical words,
+	// and topical word + entity name.
+	queries := [][]string{
+		{"probabilistic", "ranking"},
+		{"uncertain"},
+		{"xml", "indexing"},
+	}
+	// Add an author query using a real generated name from the
+	// uncertain-data community.
+	if name := firstAuthorUsing(eng, corpus, "probabilistic"); name != "" {
+		queries = append(queries, []string{"probabilistic", name})
+	}
+
+	for _, q := range queries {
+		fmt.Printf("\n================ query: %v ================\n", q)
+
+		_, total, err := eng.Search(q)
+		if err != nil {
+			log.Printf("search %v: %v", q, err)
+			continue
+		}
+		fmt.Printf("search results: %d\n", total)
+
+		for _, term := range q {
+			sims, err := eng.SimilarTerms(term, 5)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("similar to %-20q:", term)
+			for _, rt := range sims {
+				fmt.Printf(" %s(%.2f)", rt.Term, rt.Score)
+			}
+			fmt.Println()
+		}
+
+		sugs, err := eng.Reformulate(q, 5)
+		if err != nil {
+			log.Printf("reformulate %v: %v", q, err)
+			continue
+		}
+		fmt.Println("reformulations:")
+		for i, s := range sugs {
+			_, n, _ := eng.Search(s.Terms)
+			// Flag substitutions that stay on-topic per the generator's
+			// latent ground truth.
+			marker := ""
+			onTopic := true
+			for si, term := range s.Terms {
+				if si < len(q) && !corpus.Related(q[si], term) {
+					onTopic = false
+				}
+			}
+			if onTopic {
+				marker = "  [on-topic]"
+			}
+			fmt.Printf("  %d. %-40s (%d results)%s\n", i+1, s.String(), n, marker)
+		}
+	}
+}
+
+// firstAuthorUsing finds a generated author whose papers contain the
+// term, by probing the close-terms relation.
+func firstAuthorUsing(eng *kqr.Engine, corpus *synthetic.Corpus, term string) string {
+	close, err := eng.CloseTerms(term, 5, "authors.name")
+	if err != nil || len(close) == 0 {
+		return ""
+	}
+	return close[0].Term
+}

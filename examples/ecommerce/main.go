@@ -1,0 +1,161 @@
+// E-commerce catalog: keyword query reformulation on a completely
+// different schema — products, brands, categories and reviews — showing
+// that the engine only needs tables, foreign keys and text columns, not
+// anything bibliographic. The catalog plants the same kind of structure
+// a real store has: "wireless" and "bluetooth" never appear in the same
+// product name, but the same brands and categories use both, so the
+// engine can suggest one for the other.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kqr"
+)
+
+type product struct {
+	id       int
+	name     string
+	brand    int
+	category int
+}
+
+func main() {
+	ds, err := kqr.NewDataset(
+		kqr.Table{
+			Name: "brands",
+			Columns: []kqr.Column{
+				{Name: "bid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+			},
+			PrimaryKey: "bid",
+		},
+		kqr.Table{
+			Name: "categories",
+			Columns: []kqr.Column{
+				{Name: "catid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+			},
+			PrimaryKey: "catid",
+		},
+		kqr.Table{
+			Name: "products",
+			Columns: []kqr.Column{
+				{Name: "pid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextSegmented},
+				{Name: "bid", Type: kqr.TypeInt},
+				{Name: "catid", Type: kqr.TypeInt},
+			},
+			PrimaryKey: "pid",
+			ForeignKeys: []kqr.ForeignKey{
+				{Column: "bid", RefTable: "brands"},
+				{Column: "catid", RefTable: "categories"},
+			},
+		},
+		kqr.Table{
+			Name: "reviews",
+			Columns: []kqr.Column{
+				{Name: "rid", Type: kqr.TypeInt},
+				{Name: "body", Type: kqr.TypeString, Text: kqr.TextSegmented},
+				{Name: "pid", Type: kqr.TypeInt},
+			},
+			PrimaryKey:  "rid",
+			ForeignKeys: []kqr.ForeignKey{{Column: "pid", RefTable: "products"}},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	brands := []string{"Auralis", "SoundCore", "Nimbus", "VoltEdge"}
+	for i, b := range brands {
+		must(ds.Insert("brands", i+1, b))
+	}
+	categories := []string{"Audio", "Computing", "Home"}
+	for i, c := range categories {
+		must(ds.Insert("categories", i+1, c))
+	}
+
+	products := []product{
+		// Audio: "wireless" and "bluetooth" are quasi-synonyms across
+		// the catalog — never in the same name, same brands/category.
+		{1, "wireless headphones noise cancelling", 1, 1},
+		{2, "bluetooth headphones over ear", 1, 1},
+		{3, "wireless earbuds sport", 2, 1},
+		{4, "bluetooth speaker waterproof", 2, 1},
+		{5, "wireless soundbar compact", 1, 1},
+		{6, "bluetooth earbuds charging case", 2, 1},
+		// Computing: "laptop" vs "notebook".
+		{7, "laptop stand aluminium", 3, 2},
+		{8, "notebook sleeve leather", 3, 2},
+		{9, "laptop cooling pad silent", 4, 2},
+		{10, "notebook backpack waterproof", 4, 2},
+		{11, "mechanical keyboard compact", 3, 2},
+		{12, "ergonomic mouse silent", 4, 2},
+		// Home.
+		{13, "smart lamp dimmable", 4, 3},
+		{14, "robot vacuum mapping", 3, 3},
+	}
+	for _, p := range products {
+		must(ds.Insert("products", p.id, p.name, p.brand, p.category))
+	}
+
+	reviews := []struct {
+		id   int
+		body string
+		pid  int
+	}{
+		{1, "great battery life and pairing is instant", 1},
+		{2, "pairing works across all my devices", 2},
+		{3, "battery lasts a full workout", 3},
+		{4, "sound quality is excellent for the price", 4},
+		{5, "battery could be better but pairing is solid", 6},
+		{6, "sturdy and the laptop sits at a comfortable angle", 7},
+		{7, "fits my notebook perfectly", 8},
+	}
+	for _, r := range reviews {
+		must(ds.Insert("reviews", r.id, r.body, r.pid))
+	}
+
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("catalog:", ds.Stats())
+	fmt.Println("graph:  ", eng.GraphStats())
+
+	for _, query := range []string{
+		"wireless headphones",
+		"laptop",
+		`bluetooth "Auralis"`,
+	} {
+		sugs, err := eng.ReformulateQuery(query, 5)
+		if err != nil {
+			log.Printf("%q: %v", query, err)
+			continue
+		}
+		fmt.Printf("\nshoppers searching %q might also try:\n", query)
+		for i, s := range sugs {
+			_, n, _ := eng.Search(s.Terms)
+			fmt.Printf("  %d. %-40s (%d products/records)\n", i+1, s.String(), n)
+		}
+	}
+
+	// The offline relation works across fields: which brands are closest
+	// to the word "wireless"?
+	close, err := eng.CloseTerms("wireless", 3, "brands.name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbrands closest to \"wireless\":")
+	for _, rt := range close {
+		fmt.Printf("  %-12s %.4f\n", rt.Term, rt.Score)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

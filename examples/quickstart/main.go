@@ -1,0 +1,94 @@
+// Quickstart: build a tiny bibliographic dataset by hand, open an
+// engine, and reformulate a keyword query. This is the five-minute tour
+// of the library: schema → rows → Open → Reformulate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kqr"
+)
+
+func main() {
+	// 1. Declare the schema: tables, a primary key each, foreign keys.
+	//    Text columns say how they become search terms: titles are
+	//    segmented into words, names stay whole.
+	ds, err := kqr.NewDataset(
+		kqr.Table{
+			Name: "conferences",
+			Columns: []kqr.Column{
+				{Name: "cid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+			},
+			PrimaryKey: "cid",
+		},
+		kqr.Table{
+			Name: "papers",
+			Columns: []kqr.Column{
+				{Name: "pid", Type: kqr.TypeInt},
+				{Name: "title", Type: kqr.TypeString, Text: kqr.TextSegmented},
+				{Name: "cid", Type: kqr.TypeInt},
+			},
+			PrimaryKey:  "pid",
+			ForeignKeys: []kqr.ForeignKey{{Column: "cid", RefTable: "conferences"}},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Load rows. "probabilistic" and "uncertain" never share a title,
+	//    but they share a venue — the structural signal the engine uses.
+	must(ds.Insert("conferences", 1, "VLDB"))
+	must(ds.Insert("conferences", 2, "ICDE"))
+	titles := []struct {
+		pid   int
+		title string
+		cid   int
+	}{
+		{1, "probabilistic query evaluation", 1},
+		{2, "probabilistic data cleaning", 1},
+		{3, "uncertain data management", 1},
+		{4, "uncertain query answering", 1},
+		{5, "xml twig indexing", 2},
+		{6, "semistructured schema discovery", 2},
+	}
+	for _, p := range titles {
+		must(ds.Insert("papers", p.pid, p.title, p.cid))
+	}
+
+	// 3. Open the engine: this builds the term-augmented tuple graph and
+	//    prepares the offline similarity/closeness extractors.
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", eng.GraphStats())
+
+	// 4. Reformulate a query.
+	sugs, err := eng.ReformulateQuery("uncertain data", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsuggestions for \"uncertain data\":")
+	for i, s := range sugs {
+		fmt.Printf("  %d. %s\n", i+1, s)
+	}
+
+	// 5. The offline relations are available directly too.
+	similar, err := eng.SimilarTerms("uncertain", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nterms similar to \"uncertain\":")
+	for _, rt := range similar {
+		fmt.Printf("  %-16s %.3f\n", rt.Term, rt.Score)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package kqr_test
+
+import (
+	"strings"
+	"testing"
+
+	"kqr"
+)
+
+// FuzzParseQuery checks the query parser never panics, never returns
+// empty terms, and round-trips the terms it produces (re-quoting any
+// multi-word term parses back to the same list).
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		`a b c`, `"x y" z`, `"unbalanced`, `""`, `   `, `"a" "b c" d`,
+		`tab	separated`, `"nested "quotes" here"`, `q"uote in the middle`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		terms, err := kqr.ParseQuery(input)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if len(terms) == 0 {
+			t.Fatalf("ParseQuery(%q) returned no terms without error", input)
+		}
+		var rebuilt []string
+		for _, term := range terms {
+			if term == "" {
+				t.Fatalf("ParseQuery(%q) produced an empty term", input)
+			}
+			if strings.ContainsRune(term, '"') {
+				// A quote inside a term cannot round-trip through the
+				// quoting syntax; skip the round-trip check for it.
+				return
+			}
+			if strings.ContainsAny(term, " \t") {
+				rebuilt = append(rebuilt, `"`+term+`"`)
+			} else {
+				rebuilt = append(rebuilt, term)
+			}
+		}
+		again, err := kqr.ParseQuery(strings.Join(rebuilt, " "))
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", input, err)
+		}
+		if len(again) != len(terms) {
+			t.Fatalf("round-trip of %q: %v vs %v", input, again, terms)
+		}
+		for i := range terms {
+			if again[i] != terms[i] {
+				t.Fatalf("round-trip of %q: term %d %q vs %q", input, i, again[i], terms[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module kqr
+
+go 1.23

@@ -1,0 +1,335 @@
+// Package catgen generates a synthetic e-commerce catalog — products,
+// brands, categories and reviews — with the same kind of planted latent
+// structure as the bibliographic generator: per-domain vocabulary,
+// quasi-synonym pairs that never share a product name ("wireless" vs
+// "bluetooth"), and brands/categories specializing per domain. It exists
+// to verify that the reformulation system transfers to a second schema
+// with different shape (two foreign keys on the main entity, a long-text
+// child table) and nothing bibliographic about it.
+package catgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kqr/internal/relstore"
+	"kqr/internal/textindex"
+)
+
+// domainSpec seeds one product domain.
+type domainSpec struct {
+	name     string
+	synonyms [][2]string
+	vocab    []string
+	// reviewVocab feeds review bodies; overlaps with product vocabulary
+	// to tie reviews into the term graph.
+	reviewVocab []string
+}
+
+var domains = []domainSpec{
+	{
+		name:     "audio",
+		synonyms: [][2]string{{"wireless", "bluetooth"}},
+		vocab: []string{"headphones", "earbuds", "speaker", "soundbar", "noise",
+			"cancelling", "microphone", "bass", "stereo", "portable"},
+		reviewVocab: []string{"pairing", "battery", "sound", "comfortable", "crisp"},
+	},
+	{
+		name:     "computing",
+		synonyms: [][2]string{{"laptop", "notebook"}},
+		vocab: []string{"stand", "sleeve", "keyboard", "mouse", "monitor",
+			"docking", "cooling", "ergonomic", "backpack", "charger"},
+		reviewVocab: []string{"sturdy", "fits", "quiet", "fast", "setup"},
+	},
+	{
+		name:     "kitchen",
+		synonyms: [][2]string{{"blender", "mixer"}},
+		vocab: []string{"stainless", "glass", "jar", "whisk", "dough",
+			"smoothie", "grinder", "pitcher", "blade", "compact"},
+		reviewVocab: []string{"cleanup", "powerful", "loud", "recipes", "sturdy"},
+	},
+	{
+		name:     "outdoor",
+		synonyms: [][2]string{{"tent", "shelter"}},
+		vocab: []string{"camping", "sleeping", "bag", "hiking", "poles",
+			"waterproof", "ultralight", "stakes", "canopy", "trail"},
+		reviewVocab: []string{"setup", "rain", "warm", "light", "packs"},
+	},
+}
+
+// fillers are the generic catalog words every listing overuses.
+var fillers = []string{"premium", "pro", "deluxe", "essential", "classic", "max"}
+
+var brandParts = struct {
+	heads, tails []string
+}{
+	heads: []string{"Aural", "Volt", "Nim", "Terra", "Kivo", "Brill", "Sono", "Peak"},
+	tails: []string{"is", "edge", "bus", "ware", "tek", "mark", "line", "labs"},
+}
+
+// Config sizes the catalog. Zero values take the defaults shown.
+type Config struct {
+	Seed       int64 // default 1
+	Domains    int   // default 4 (capped at the built-in list)
+	Brands     int   // default 12
+	Categories int   // default 8
+	Products   int   // default 800
+	// ReviewsPerProduct is the expected review count (default 2).
+	ReviewsPerProduct int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Domains == 0 {
+		c.Domains = len(domains)
+	}
+	if c.Brands == 0 {
+		c.Brands = 12
+	}
+	if c.Categories == 0 {
+		c.Categories = 8
+	}
+	if c.Products == 0 {
+		c.Products = 800
+	}
+	if c.ReviewsPerProduct == 0 {
+		c.ReviewsPerProduct = 2
+	}
+	switch {
+	case c.Domains < 1 || c.Domains > len(domains):
+		return c, fmt.Errorf("catgen: Domains %d outside [1,%d]", c.Domains, len(domains))
+	case c.Brands < c.Domains:
+		return c, fmt.Errorf("catgen: need at least one brand per domain (%d < %d)", c.Brands, c.Domains)
+	case c.Categories < c.Domains:
+		return c, fmt.Errorf("catgen: need at least one category per domain (%d < %d)", c.Categories, c.Domains)
+	case c.Products < 1:
+		return c, fmt.Errorf("catgen: Products %d < 1", c.Products)
+	case c.ReviewsPerProduct < 0:
+		return c, fmt.Errorf("catgen: negative ReviewsPerProduct %d", c.ReviewsPerProduct)
+	}
+	return c, nil
+}
+
+// Corpus is the generated catalog with its latent ground truth.
+type Corpus struct {
+	DB *relstore.Database
+	// Synonym maps each planted member to its partner.
+	Synonym map[string]string
+	// TermDomain maps terms (product vocabulary, brand and category
+	// names, normalized) to their domain index; synonym members and
+	// review words included.
+	TermDomain map[string]int
+	DomainName []string
+	BrandNames []string
+	CatNames   []string
+}
+
+// Related reports whether two terms share a domain (or are identical /
+// planted partners).
+func (c *Corpus) Related(a, b string) bool {
+	a, b = textindex.Normalize(a), textindex.Normalize(b)
+	if a == b || c.Synonym[a] == b {
+		return true
+	}
+	da, okA := c.TermDomain[a]
+	db, okB := c.TermDomain[b]
+	return okA && okB && da == db
+}
+
+// Schema creates the four catalog tables.
+func Schema(db *relstore.Database) error {
+	if err := db.CreateTable(relstore.Schema{
+		Name: "brands",
+		Columns: []relstore.Column{
+			{Name: "bid", Kind: relstore.KindInt},
+			{Name: "name", Kind: relstore.KindString, Text: relstore.TextAtomic},
+		},
+		PrimaryKey: "bid",
+	}); err != nil {
+		return err
+	}
+	if err := db.CreateTable(relstore.Schema{
+		Name: "categories",
+		Columns: []relstore.Column{
+			{Name: "catid", Kind: relstore.KindInt},
+			{Name: "name", Kind: relstore.KindString, Text: relstore.TextAtomic},
+		},
+		PrimaryKey: "catid",
+	}); err != nil {
+		return err
+	}
+	if err := db.CreateTable(relstore.Schema{
+		Name: "products",
+		Columns: []relstore.Column{
+			{Name: "pid", Kind: relstore.KindInt},
+			{Name: "name", Kind: relstore.KindString, Text: relstore.TextSegmented},
+			{Name: "bid", Kind: relstore.KindInt},
+			{Name: "catid", Kind: relstore.KindInt},
+		},
+		PrimaryKey: "pid",
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "bid", RefTable: "brands"},
+			{Column: "catid", RefTable: "categories"},
+		},
+	}); err != nil {
+		return err
+	}
+	return db.CreateTable(relstore.Schema{
+		Name: "reviews",
+		Columns: []relstore.Column{
+			{Name: "rid", Kind: relstore.KindInt},
+			{Name: "body", Kind: relstore.KindString, Text: relstore.TextSegmented},
+			{Name: "pid", Kind: relstore.KindInt},
+		},
+		PrimaryKey:  "rid",
+		ForeignKeys: []relstore.ForeignKey{{Column: "pid", RefTable: "products"}},
+	})
+}
+
+// Generate builds a catalog corpus, deterministic in the config.
+func Generate(cfg Config) (*Corpus, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := relstore.NewDatabase()
+	if err := Schema(db); err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		DB:         db,
+		Synonym:    make(map[string]string),
+		TermDomain: make(map[string]int),
+	}
+	for d := 0; d < cfg.Domains; d++ {
+		spec := domains[d]
+		c.DomainName = append(c.DomainName, spec.name)
+		for _, pair := range spec.synonyms {
+			c.Synonym[pair[0]] = pair[1]
+			c.Synonym[pair[1]] = pair[0]
+			c.TermDomain[pair[0]] = d
+			c.TermDomain[pair[1]] = d
+		}
+		for _, w := range spec.vocab {
+			c.TermDomain[w] = d
+		}
+		for _, w := range spec.reviewVocab {
+			c.TermDomain[w] = d
+		}
+	}
+
+	// Brands: round-robin domains, unique names.
+	usedBrand := map[string]bool{}
+	brandDomain := make([]int, cfg.Brands)
+	for b := 0; b < cfg.Brands; b++ {
+		brandDomain[b] = b % cfg.Domains
+		name := ""
+		for i := 0; ; i++ {
+			name = brandParts.heads[rng.Intn(len(brandParts.heads))] +
+				brandParts.tails[rng.Intn(len(brandParts.tails))]
+			if i > 6 {
+				name = fmt.Sprintf("%s%d", name, b)
+			}
+			if !usedBrand[name] {
+				usedBrand[name] = true
+				break
+			}
+		}
+		if _, err := db.Insert("brands", relstore.Int(int64(b+1)), relstore.String(name)); err != nil {
+			return nil, err
+		}
+		c.BrandNames = append(c.BrandNames, name)
+		c.TermDomain[textindex.Normalize(name)] = brandDomain[b]
+	}
+
+	// Categories: round-robin domains, named after the domain.
+	catDomain := make([]int, cfg.Categories)
+	for k := 0; k < cfg.Categories; k++ {
+		catDomain[k] = k % cfg.Domains
+		name := fmt.Sprintf("%s %d", strings.ToUpper(domains[catDomain[k]].name[:1])+domains[catDomain[k]].name[1:], k/cfg.Domains+1)
+		if _, err := db.Insert("categories", relstore.Int(int64(k+1)), relstore.String(name)); err != nil {
+			return nil, err
+		}
+		c.CatNames = append(c.CatNames, name)
+		c.TermDomain[textindex.Normalize(name)] = catDomain[k]
+	}
+
+	// Pools per domain.
+	domBrands := make([][]int, cfg.Domains)
+	for b, d := range brandDomain {
+		domBrands[d] = append(domBrands[d], b)
+	}
+	domCats := make([][]int, cfg.Domains)
+	for k, d := range catDomain {
+		domCats[d] = append(domCats[d], k)
+	}
+
+	// Products and reviews.
+	rid := int64(0)
+	for p := 0; p < cfg.Products; p++ {
+		d := rng.Intn(cfg.Domains)
+		spec := domains[d]
+		name := productName(rng, spec, p)
+		brand := domBrands[d][rng.Intn(len(domBrands[d]))]
+		cat := domCats[d][rng.Intn(len(domCats[d]))]
+		pid := int64(p + 1)
+		if _, err := db.Insert("products", relstore.Int(pid), relstore.String(name),
+			relstore.Int(int64(brand+1)), relstore.Int(int64(cat+1))); err != nil {
+			return nil, err
+		}
+		nReviews := rng.Intn(2 * cfg.ReviewsPerProduct)
+		for r := 0; r < nReviews; r++ {
+			rid++
+			body := reviewBody(rng, spec)
+			if _, err := db.Insert("reviews", relstore.Int(rid), relstore.String(body), relstore.Int(pid)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// productName samples 2–4 domain words plus filler; at most one synonym
+// member per name, alternated by product parity.
+func productName(rng *rand.Rand, spec domainSpec, productIdx int) string {
+	words := make([]string, 0, 5)
+	seen := map[string]bool{}
+	if len(spec.synonyms) > 0 && rng.Float64() < 0.7 {
+		pair := spec.synonyms[rng.Intn(len(spec.synonyms))]
+		w := pair[productIdx%2]
+		words = append(words, w)
+		seen[pair[0]], seen[pair[1]] = true, true
+	}
+	n := 2 + rng.Intn(3)
+	for len(words) < n {
+		w := spec.vocab[rng.Intn(len(spec.vocab))]
+		if seen[w] {
+			if len(seen) >= len(spec.vocab) {
+				break
+			}
+			continue
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	if rng.Float64() < 0.6 {
+		words = append(words, fillers[rng.Intn(len(fillers))])
+	}
+	return strings.Join(words, " ")
+}
+
+// reviewBody samples review vocabulary plus a couple of product words.
+func reviewBody(rng *rand.Rand, spec domainSpec) string {
+	words := make([]string, 0, 6)
+	for i := 0; i < 3; i++ {
+		words = append(words, spec.reviewVocab[rng.Intn(len(spec.reviewVocab))])
+	}
+	for i := 0; i < 2; i++ {
+		words = append(words, spec.vocab[rng.Intn(len(spec.vocab))])
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,192 @@
+package catgen
+
+import (
+	"strings"
+	"testing"
+
+	"kqr/internal/closeness"
+	"kqr/internal/cooccur"
+	"kqr/internal/core"
+	"kqr/internal/randomwalk"
+	"kqr/internal/relstore"
+	"kqr/internal/tatgraph"
+)
+
+func smallCfg(seed int64) Config {
+	return Config{Seed: seed, Domains: 4, Brands: 8, Categories: 4, Products: 400}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Domains: 99},
+		{Domains: -1},
+		{Domains: 4, Brands: 2},
+		{Domains: 4, Brands: 8, Categories: 2},
+		{Products: -5},
+		{ReviewsPerProduct: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c, err := Generate(smallCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DB.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.DB.Stats()
+	if st.PerTable["products"] != 400 || st.PerTable["brands"] != 8 || st.PerTable["categories"] != 4 {
+		t.Fatalf("stats = %v", st)
+	}
+	if st.PerTable["reviews"] == 0 {
+		t.Fatal("no reviews")
+	}
+	if len(c.BrandNames) != 8 || len(c.CatNames) != 4 || len(c.DomainName) != 4 {
+		t.Fatalf("name lists: %d/%d/%d", len(c.BrandNames), len(c.CatNames), len(c.DomainName))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(smallCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.DB.Table("products")
+	tb, _ := b.DB.Table("products")
+	for i := 0; i < ta.Len(); i++ {
+		ra, _ := ta.Tuple(i)
+		rb, _ := tb.Tuple(i)
+		if !ra.Values[1].Equal(rb.Values[1]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestSynonymsNeverShareName(t *testing.T) {
+	c, err := Generate(smallCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, _ := c.DB.Table("products")
+	occur := map[string]int{}
+	products.Scan(func(tp relstore.Tuple) bool {
+		name := " " + tp.Values[1].Text() + " "
+		for a, b := range c.Synonym {
+			if strings.Contains(name, " "+a+" ") {
+				occur[a]++
+				if strings.Contains(name, " "+b+" ") {
+					t.Fatalf("pair %s/%s share product %q", a, b, tp.Values[1].Text())
+				}
+			}
+		}
+		return true
+	})
+	for member := range c.Synonym {
+		if occur[member] == 0 {
+			t.Fatalf("synonym member %q never used", member)
+		}
+	}
+}
+
+func TestRelated(t *testing.T) {
+	c, err := Generate(smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Related("wireless", "bluetooth") {
+		t.Fatal("planted partners unrelated")
+	}
+	if !c.Related("wireless", "headphones") {
+		t.Fatal("same-domain words unrelated")
+	}
+	if c.Related("headphones", "blender") {
+		t.Fatal("cross-domain words related")
+	}
+	if !c.Related(c.BrandNames[0], c.BrandNames[0]) {
+		t.Fatal("identity unrelated")
+	}
+}
+
+// The cross-schema transfer check: the full pipeline on the catalog
+// reproduces the Table II contrast — the walk finds the planted partner
+// that co-occurrence structurally cannot.
+func TestPipelineTransfersToCatalog(t *testing.T) {
+	c, err := Generate(smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := tatgraph.Build(c.DB, tatgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := randomwalk.NewExtractor(tg, randomwalk.Contextual, randomwalk.Options{})
+	co := cooccur.NewExtractor(tg)
+
+	for member, partner := range c.Synonym {
+		nodes := tg.FindTerm(member)
+		if len(nodes) == 0 {
+			t.Fatalf("term %q missing from catalog graph", member)
+		}
+		start := nodes[0]
+		wl, err := walk.SimilarNodes(start, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, sn := range wl {
+			if tg.TermText(sn.Node) == partner {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("walk missed partner %q of %q on catalog", partner, member)
+		}
+		cl, err := co.SimilarNodes(start, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sn := range cl {
+			if tg.TermText(sn.Node) == partner {
+				t.Fatalf("co-occurrence found never-co-occurring %q/%q", member, partner)
+			}
+		}
+	}
+
+	// End-to-end reformulation over the catalog graph.
+	clos, err := closeness.New(tg, closeness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(tg, walk, clos, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := eng.Reformulate([]string{"wireless", "headphones"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("no reformulations on catalog")
+	}
+	for _, r := range refs {
+		for _, term := range r.Terms {
+			if !c.Related("wireless", term) && !c.Related("headphones", term) {
+				// Fillers are domain-less; only flag cross-domain words.
+				if _, isDomain := c.TermDomain[term]; isDomain {
+					t.Fatalf("cross-domain suggestion %v", r.Terms)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package cooccur implements the frequent co-occurrence similarity
+// baseline the paper compares against (§VI-A, citing result-analysis
+// work [15]): two terms are similar in proportion to how often they
+// occur together. "Together" means within one local record context — the
+// same tuple for attribute words, or directly linked tuples for entity
+// names (so the baseline can find an author's co-authors, as the paper
+// notes, but never the colleagues connected only through conferences or
+// shared vocabulary). That locality is exactly what the contextual
+// random walk transcends, and what Table II / Figure 5 measure.
+package cooccur
+
+import (
+	"sort"
+	"sync"
+
+	"kqr/internal/graph"
+	"kqr/internal/tatgraph"
+)
+
+// maxDepth bounds the search for the nearest co-occurrence ring:
+// term → tuple → term covers attribute words sharing a tuple (distance
+// 2); term → entity → record → entity' → term' covers entity names
+// sharing a record, e.g. co-authors of one paper (distance 4, with
+// association tables collapsed to edges).
+const maxDepth = 4
+
+// Extractor ranks same-class terms by local co-occurrence counts. It
+// caches per-source results and is safe for concurrent use.
+type Extractor struct {
+	tg *tatgraph.Graph
+
+	mu    sync.Mutex
+	cache map[graph.NodeID][]graph.Scored
+}
+
+// NewExtractor builds a co-occurrence extractor over a TAT graph.
+func NewExtractor(tg *tatgraph.Graph) *Extractor {
+	return &Extractor{tg: tg, cache: make(map[graph.NodeID][]graph.Scored)}
+}
+
+// maxKept mirrors randomwalk's cache bound.
+const maxKept = 64
+
+// SimilarNodes returns up to k same-class nodes ranked by co-occurrence
+// count with t0, scores normalized so the best candidate is 1. The count
+// of a candidate is the number of (shortest) connection paths within the
+// local context radius, so a pair sharing three tuples outranks a pair
+// sharing one.
+func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error) {
+	if k <= 0 || k > maxKept {
+		k = maxKept
+	}
+	e.mu.Lock()
+	cached, ok := e.cache[t0]
+	e.mu.Unlock()
+	if !ok {
+		cached = e.extract(t0)
+		e.mu.Lock()
+		e.cache[t0] = cached
+		e.mu.Unlock()
+	}
+	if len(cached) > k {
+		cached = cached[:k]
+	}
+	return cached, nil
+}
+
+// extract runs the bounded path-count from t0, keeping only the
+// *nearest* ring at which same-class nodes appear: attribute words stop
+// at their shared tuples (distance 2) without picking up terms of linked
+// records, while entity names reach through one shared record (distance
+// 4). This is what makes the baseline strictly local — frequent
+// co-occurrence, nothing transitive.
+func (e *Extractor) extract(t0 graph.NodeID) []graph.Scored {
+	csr := e.tg.CSR()
+	dist := map[graph.NodeID]int{t0: 0}
+	counts := map[graph.NodeID]float64{t0: 1}
+	frontier := []graph.NodeID{t0}
+	found := make(map[graph.NodeID]float64)
+
+	for depth := 1; depth <= maxDepth && len(frontier) > 0 && len(found) == 0; depth++ {
+		nextCounts := make(map[graph.NodeID]float64)
+		for _, u := range frontier {
+			cu := counts[u]
+			csr.Neighbors(u, func(v graph.NodeID, w float64) bool {
+				if d, seen := dist[v]; seen && d < depth {
+					return true
+				}
+				// Weight the first hop by the occurrence edge weight (a
+				// term used three times in a title co-occurs three
+				// times); later hops propagate path counts.
+				step := cu
+				if depth == 1 {
+					step = w
+				}
+				nextCounts[v] += step
+				return true
+			})
+		}
+		var next []graph.NodeID
+		for v, c := range nextCounts {
+			dist[v] = depth
+			counts[v] = c
+			next = append(next, v)
+			if v != t0 && e.tg.SameClass(v, t0) {
+				found[v] = c
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+
+	out := make([]graph.Scored, 0, len(found))
+	for v, c := range found {
+		out = append(out, graph.Scored{Node: v, Score: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if len(out) > maxKept {
+		out = out[:maxKept]
+	}
+	if len(out) > 0 && out[0].Score > 0 {
+		norm := out[0].Score
+		for i := range out {
+			out[i].Score /= norm
+		}
+	}
+	return out
+}
+
+// Snapshot copies the cached similar-term lists for persistence.
+func (e *Extractor) Snapshot() map[graph.NodeID][]graph.Scored {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[graph.NodeID][]graph.Scored, len(e.cache))
+	for v, list := range e.cache {
+		cp := make([]graph.Scored, len(list))
+		copy(cp, list)
+		out[v] = cp
+	}
+	return out
+}
+
+// Restore replaces the cache with previously snapshotted lists.
+func (e *Extractor) Restore(snap map[graph.NodeID][]graph.Scored) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[graph.NodeID][]graph.Scored, len(snap))
+	for v, list := range snap {
+		cp := make([]graph.Scored, len(list))
+		copy(cp, list)
+		e.cache[v] = cp
+	}
+}
+
+// Sim returns the normalized co-occurrence similarity of t to t0, 0 if
+// they never co-occur locally. Identity is 1.
+func (e *Extractor) Sim(t0, t graph.NodeID) (float64, error) {
+	if t0 == t {
+		return 1, nil
+	}
+	list, err := e.SimilarNodes(t0, maxKept)
+	if err != nil {
+		return 0, err
+	}
+	for _, sn := range list {
+		if sn.Node == t {
+			return sn.Score, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,151 @@
+// Package dblpgen generates a deterministic, DBLP-shaped synthetic
+// corpus: conferences, authors, papers, authorship and citation tables,
+// all driven by a latent topic model. It stands in for the DBLP dump the
+// paper evaluated on (700k authors / 1.3M papers / 4.5k conferences),
+// reproducing at laptop scale the structure the paper's algorithms
+// exploit:
+//
+//   - every topic has planted quasi-synonym pairs (e.g. probabilistic ↔
+//     uncertain) that NEVER co-occur in one title yet share conferences,
+//     authors and surrounding vocabulary — the signal the contextual
+//     random walk must find and plain co-occurrence must miss;
+//   - authors and conferences specialize in topics, giving the
+//     heterogeneous TAT graph its community structure;
+//   - the generator exports the latent assignment as ground truth, which
+//     the evaluation harness uses as the mechanical stand-in for the
+//     paper's three human judges.
+package dblpgen
+
+import "math/rand"
+
+// topicSpec seeds one latent topic with recognizable vocabulary.
+type topicSpec struct {
+	name string
+	// synonyms are planted pairs; the two members never share a title.
+	synonyms [][2]string
+	// vocab is the topic's word pool (synonym members excluded).
+	vocab []string
+}
+
+// builtinTopics model recognizable database-research areas so demo
+// output reads like the paper's examples. Synonym pairs follow the
+// paper's motivating cases (§I): probabilistic/uncertain and
+// xml/semistructured, plus analogous pairs for the other areas.
+var builtinTopics = []topicSpec{
+	{
+		name:     "uncertain-data",
+		synonyms: [][2]string{{"probabilistic", "uncertain"}},
+		vocab: []string{"query", "answering", "ranking", "lineage", "confidence",
+			"evaluation", "topk", "skyline", "aggregation", "cleaning", "possible", "worlds"},
+	},
+	{
+		name:     "xml",
+		synonyms: [][2]string{{"xml", "semistructured"}, {"tree", "twig"}},
+		vocab: []string{"document", "schema", "path", "indexing", "joins",
+			"validation", "streaming", "publishing", "labeling", "fragments"},
+	},
+	{
+		name:     "mining",
+		synonyms: [][2]string{{"association", "correlation"}, {"itemset", "pattern"}},
+		vocab: []string{"frequent", "rules", "sequential", "mining", "discovery",
+			"clustering", "classification", "outlier", "summarization", "lattice"},
+	},
+	{
+		name:     "spatial",
+		synonyms: [][2]string{{"spatiotemporal", "moving"}},
+		vocab: []string{"nearest", "neighbor", "trajectory", "objects", "road",
+			"network", "location", "tracking", "continuous", "window", "spatial"},
+	},
+	{
+		name:     "keywordsearch",
+		synonyms: [][2]string{{"keyword", "freeform"}},
+		vocab: []string{"search", "relational", "databases", "steiner", "candidate",
+			"networks", "relevance", "effectiveness", "interactive", "suggestion"},
+	},
+	{
+		name:     "streams",
+		synonyms: [][2]string{{"stream", "continuous"}},
+		vocab: []string{"sliding", "windows", "sketch", "approximate", "load",
+			"shedding", "operators", "sensors", "realtime", "adaptive"},
+	},
+	{
+		name:     "webdata",
+		synonyms: [][2]string{{"entity", "record"}},
+		vocab: []string{"extraction", "integration", "resolution", "linkage",
+			"wrappers", "tables", "annotation", "crawling", "deduplication", "web"},
+	},
+	{
+		name:     "privacy",
+		synonyms: [][2]string{{"anonymity", "privacy"}},
+		vocab: []string{"preserving", "publishing", "differential", "perturbation",
+			"disclosure", "sensitive", "utility", "microdata", "suppression", "auditing"},
+	},
+}
+
+// fillerWords appear across topics in most titles, mimicking the generic
+// title words ("efficient", "novel") that dominate raw co-occurrence
+// statistics on real corpora. The pool is deliberately small so each
+// word is individually frequent: a frequency-based similarity ranks them
+// highly, while the structure-aware extractor discounts them by inverse
+// occurrence.
+var fillerWords = []string{
+	"efficient", "scalable", "novel", "framework", "analysis", "processing",
+}
+
+// syllables power synthetic word generation for topics beyond the
+// built-in pool.
+var (
+	onsets  = []string{"b", "br", "c", "cr", "d", "dr", "f", "g", "gl", "k", "l", "m", "n", "p", "pl", "qu", "r", "s", "st", "t", "tr", "v", "z"}
+	nuclei  = []string{"a", "e", "i", "o", "u", "ia", "eo", "ai"}
+	endings = []string{"", "n", "r", "s", "x", "l", "m"}
+)
+
+// synthWord makes a pronounceable fake word, deterministic in rng state.
+func synthWord(rng *rand.Rand, syllableCount int) string {
+	w := ""
+	for i := 0; i < syllableCount; i++ {
+		w += onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))]
+	}
+	return w + endings[rng.Intn(len(endings))]
+}
+
+// synthTopic fabricates a topic with the same shape as the built-ins.
+func synthTopic(rng *rand.Rand, id int) topicSpec {
+	spec := topicSpec{name: synthWord(rng, 2)}
+	pairs := 1 + rng.Intn(2)
+	used := map[string]bool{}
+	fresh := func(sylls int) string {
+		for {
+			w := synthWord(rng, sylls)
+			if !used[w] && len(w) >= 4 {
+				used[w] = true
+				return w
+			}
+		}
+	}
+	for i := 0; i < pairs; i++ {
+		spec.synonyms = append(spec.synonyms, [2]string{fresh(3), fresh(3)})
+	}
+	nVocab := 9 + rng.Intn(4)
+	for i := 0; i < nVocab; i++ {
+		spec.vocab = append(spec.vocab, fresh(2+rng.Intn(2)))
+	}
+	_ = id
+	return spec
+}
+
+// surnames and givens combine into synthetic author names.
+var (
+	givens = []string{"Wei", "Anna", "Rahul", "Mei", "Jonas", "Sara", "Ivan", "Lena",
+		"Omar", "Yuki", "Petra", "Tomas", "Nadia", "Bruno", "Carla", "Derek",
+		"Elif", "Farid", "Greta", "Hugo", "Ines", "Jorge", "Katya", "Liang"}
+	surnames = []string{"Zhang", "Muller", "Gupta", "Chen", "Berg", "Rossi", "Petrov",
+		"Kim", "Haddad", "Tanaka", "Novak", "Silva", "Iqbal", "Costa", "Moreau",
+		"Olsen", "Demir", "Rahimi", "Lind", "Vargas", "Sokolov", "Park", "Weber", "Lu"}
+)
+
+// confPrefixes and confSuffixes combine into venue names.
+var (
+	confPrefixes = []string{"Int. Conf. on", "Symposium on", "Workshop on", "Conf. on"}
+	confSuffixes = []string{"Systems", "Foundations", "Applications", "Engineering", "Theory"}
+)

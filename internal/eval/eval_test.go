@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"kqr/internal/dblpgen"
+	"kqr/internal/graph"
+	"kqr/internal/tatgraph"
+	"kqr/internal/testcorpus"
+)
+
+func smallCorpus(t *testing.T) *dblpgen.Corpus {
+	t.Helper()
+	c, err := dblpgen.Generate(dblpgen.Config{Seed: 1, Topics: 4, Confs: 8, Authors: 60, Papers: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestJudgeTermRelevant(t *testing.T) {
+	c := smallCorpus(t)
+	j, err := NewJudge(c.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.TermRelevant("probabilistic", "uncertain") {
+		t.Fatal("synonyms judged irrelevant")
+	}
+	if !j.TermRelevant("probabilistic", "ranking") {
+		t.Fatal("same-topic terms judged irrelevant")
+	}
+	if j.TermRelevant("ranking", "twig") {
+		t.Fatal("cross-topic terms judged relevant")
+	}
+	if _, err := NewJudge(nil); err == nil {
+		t.Fatal("nil ground truth accepted")
+	}
+}
+
+func TestJudgeQueryRelevant(t *testing.T) {
+	c := smallCorpus(t)
+	j, err := NewJudge(c.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a same-community query from the ground truth so the test is
+	// robust to vocabulary partitioning.
+	terms := c.Truth.TopicTermList(0)
+	if len(terms) < 4 {
+		t.Fatalf("community 0 too small: %v", terms)
+	}
+	syn := terms[0] // synonym member, partner = Synonym[syn]
+	partner := c.Truth.Synonym[syn]
+	plain := terms[len(terms)-1]
+	orig := []string{syn, plain}
+	if !j.QueryRelevant(orig, []string{partner, plain}) {
+		t.Fatal("slotwise-relevant query rejected")
+	}
+	if j.QueryRelevant(orig, []string{partner, "twig"}) {
+		t.Fatal("query with one cross-topic slot accepted")
+	}
+	if j.QueryRelevant(orig, nil) {
+		t.Fatal("empty reformulation accepted")
+	}
+	// Deletion case: single surviving relevant term.
+	if !j.QueryRelevant(orig, []string{partner}) {
+		t.Fatal("shorter relevant query rejected")
+	}
+	if j.QueryRelevant(orig, []string{"twig"}) {
+		t.Fatal("shorter irrelevant query accepted")
+	}
+}
+
+func TestPrecisionAtN(t *testing.T) {
+	rels := []bool{true, false, true, true, false}
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1}, {2, 0.5}, {3, 2.0 / 3}, {5, 0.6},
+		{10, 0.3}, // absent judgements count as misses
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := PrecisionAtN(rels, c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("PrecisionAtN(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDistanceMeter(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := tatgraph.Build(db, tatgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistanceMeter(tg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := tg.TermNode("papers.title", "uncertain")
+	data, _ := tg.TermNode("papers.title", "data")
+	p, _ := tg.TermNode("papers.title", "probabilistic")
+	r, _ := tg.TermNode("papers.title", "routing")
+
+	if got := d.QueryDistance([]graph.NodeID{u}, []graph.NodeID{u}); got != 0 {
+		t.Fatalf("identity distance = %v", got)
+	}
+	// uncertain ↔ data share a tuple: distance 2.
+	if got := d.QueryDistance([]graph.NodeID{u}, []graph.NodeID{data}); got != 2 {
+		t.Fatalf("co-occurring distance = %v, want 2", got)
+	}
+	// uncertain ↔ probabilistic: planted 4-hop pair.
+	if got := d.QueryDistance([]graph.NodeID{u}, []graph.NodeID{p}); got != 4 {
+		t.Fatalf("synonym distance = %v, want 4", got)
+	}
+	// Disconnected pair: capped at maxHops+1.
+	if got := d.QueryDistance([]graph.NodeID{u}, []graph.NodeID{r}); got != 7 {
+		t.Fatalf("disconnected distance = %v, want 7", got)
+	}
+	// Two slots average.
+	got := d.QueryDistance([]graph.NodeID{u, u}, []graph.NodeID{u, data})
+	if got != 1 {
+		t.Fatalf("avg distance = %v, want 1", got)
+	}
+	// Deletion: nearest original.
+	got = d.QueryDistance([]graph.NodeID{u, data}, []graph.NodeID{data})
+	if got != 0 {
+		t.Fatalf("deletion distance = %v, want 0 (data matches itself)", got)
+	}
+	if _, err := NewDistanceMeter(nil, 6); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestMixedQueries(t *testing.T) {
+	c := smallCorpus(t)
+	qs := MixedQueries(c, 10, 42)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if len(q) < 1 || len(q) > 3 {
+			t.Fatalf("query %d has %d terms: %v", i, len(q), q)
+		}
+		for _, term := range q {
+			if term == "" {
+				t.Fatalf("empty term in %v", q)
+			}
+		}
+	}
+	// Deterministic.
+	qs2 := MixedQueries(c, 10, 42)
+	for i := range qs {
+		if len(qs[i]) != len(qs2[i]) {
+			t.Fatal("nondeterministic")
+		}
+		for j := range qs[i] {
+			if qs[i][j] != qs2[i][j] {
+				t.Fatal("nondeterministic")
+			}
+		}
+	}
+}
+
+func TestTitleQueries(t *testing.T) {
+	c := smallCorpus(t)
+	qs, err := TitleQueries(c, 19, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 19 {
+		t.Fatalf("got %d queries, want 19", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) < 1 || len(q) > 4 {
+			t.Fatalf("bad query %v", q)
+		}
+	}
+	if _, err := TitleQueries(c, 0, 4); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestRandomQueries(t *testing.T) {
+	c := smallCorpus(t)
+	for _, length := range []int{1, 3, 6, 8} {
+		qs, err := RandomQueries(c, 20, length, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) != 20 {
+			t.Fatalf("got %d queries", len(qs))
+		}
+		for _, q := range qs {
+			if len(q) != length {
+				t.Fatalf("query %v has length %d, want %d", q, len(q), length)
+			}
+		}
+	}
+	if _, err := RandomQueries(c, 0, 3, 7); err == nil {
+		t.Fatal("count=0 accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package eval provides the experiment harness: a mechanical relevance
+// judge derived from the corpus generator's latent topics (the stand-in
+// for the paper's three human evaluators — see DESIGN.md), the
+// Precision@N and query-distance metrics of §VI, and deterministic query
+// workload builders for every experiment.
+package eval
+
+import (
+	"fmt"
+
+	"kqr/internal/dblpgen"
+	"kqr/internal/graph"
+	"kqr/internal/tatgraph"
+)
+
+// Judge decides reformulation relevance from ground truth. The paper's
+// evaluators judged "the similarity and semantic closeness of
+// reformulated ones with respect to the input query"; the mechanical
+// analog accepts a reformulated query when every term serves the same
+// latent information need as the original it replaces.
+type Judge struct {
+	gt       *dblpgen.GroundTruth
+	cohesion func(terms []string) bool
+}
+
+// NewJudge wraps a corpus ground truth.
+func NewJudge(gt *dblpgen.GroundTruth) (*Judge, error) {
+	if gt == nil {
+		return nil, fmt.Errorf("eval: nil ground truth")
+	}
+	return &Judge{gt: gt}, nil
+}
+
+// WithCohesion adds a cohesion requirement to whole-query judgements:
+// a reformulation also has to pass the given check (typically "keyword
+// search returns at least one result"). The paper's evaluators judged
+// "similarity and semantic closeness"; the cohesion check is the
+// mechanical second half — a query whose terms never appear together
+// retrieves nothing and cannot be a valid substitute.
+func (j *Judge) WithCohesion(check func(terms []string) bool) *Judge {
+	return &Judge{gt: j.gt, cohesion: check}
+}
+
+// TermRelevant reports whether new may substitute orig: identical,
+// planted synonym, or same latent topic.
+func (j *Judge) TermRelevant(orig, new string) bool {
+	return j.gt.Related(orig, new)
+}
+
+// QueryRelevant judges a whole reformulation. Equal-length queries are
+// judged slot-wise. Shorter queries (term deletions) are relevant when
+// every surviving term is relevant to some original slot.
+func (j *Judge) QueryRelevant(orig, reformulated []string) bool {
+	if len(reformulated) == 0 {
+		return false
+	}
+	if j.cohesion != nil && !j.cohesion(reformulated) {
+		return false
+	}
+	if len(orig) == len(reformulated) {
+		for i := range orig {
+			if !j.gt.Related(orig[i], reformulated[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, nw := range reformulated {
+		ok := false
+		for _, og := range orig {
+			if j.gt.Related(og, nw) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// PrecisionAtN returns the fraction of the first n judgements that are
+// true. Fewer than n judgements count the absent ones as irrelevant,
+// matching how a top-N evaluation treats an empty slot.
+func PrecisionAtN(rels []bool, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < n && i < len(rels); i++ {
+		if rels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// DistanceMeter computes the paper's Table III "query distance": the
+// average TAT-graph shortest-path distance between corresponding term
+// pairs of the original and reformulated query.
+type DistanceMeter struct {
+	tg *tatgraph.Graph
+	// maxHops bounds the path search; unreachable pairs count as
+	// maxHops+1 so diversity across disconnected regions is penalized,
+	// not rewarded.
+	maxHops int
+}
+
+// NewDistanceMeter builds a meter; maxHops <= 0 defaults to 6.
+func NewDistanceMeter(tg *tatgraph.Graph, maxHops int) (*DistanceMeter, error) {
+	if tg == nil {
+		return nil, fmt.Errorf("eval: nil graph")
+	}
+	if maxHops <= 0 {
+		maxHops = 6
+	}
+	return &DistanceMeter{tg: tg, maxHops: maxHops}, nil
+}
+
+// QueryDistance averages the term distance over corresponding slots.
+// Mismatched lengths (deletions) compare each new term to its nearest
+// original term.
+func (d *DistanceMeter) QueryDistance(orig, reformulated []graph.NodeID) float64 {
+	if len(reformulated) == 0 {
+		return 0
+	}
+	total := 0.0
+	if len(orig) == len(reformulated) {
+		for i := range orig {
+			total += d.termDistance(orig[i], reformulated[i])
+		}
+		return total / float64(len(orig))
+	}
+	for _, nw := range reformulated {
+		best := float64(d.maxHops + 1)
+		for _, og := range orig {
+			if dist := d.termDistance(og, nw); dist < best {
+				best = dist
+			}
+		}
+		total += best
+	}
+	return total / float64(len(reformulated))
+}
+
+func (d *DistanceMeter) termDistance(a, b graph.NodeID) float64 {
+	if a == b {
+		return 0
+	}
+	if dist, ok := d.tg.CSR().HopDistance(a, b, d.maxHops); ok {
+		return float64(dist)
+	}
+	return float64(d.maxHops + 1)
+}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kqr/internal/dblpgen"
+	"kqr/internal/textindex"
+)
+
+// MixedQueries builds the Fig. 5-style test set: queries of 1–3 terms
+// mixing topical words, author names and conference names — "chosen with
+// various formats consisting of topical words, author or conference
+// name, such as 'knn uncertain'". Deterministic in the seed.
+func MixedQueries(c *dblpgen.Corpus, n int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	topics := len(c.Truth.TopicNames)
+	out := make([][]string, 0, n)
+	for len(out) < n {
+		topic := rng.Intn(topics)
+		terms := c.Truth.TopicTermList(topic)
+		if len(terms) < 3 {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0: // two topical words
+			a, b := rng.Intn(len(terms)), rng.Intn(len(terms))
+			if a == b {
+				continue
+			}
+			out = append(out, []string{terms[a], terms[b]})
+		case 1: // topical word + author of that topic
+			name := sampleEntity(rng, c.AuthorNames, c.Truth.AuthorTopics, topic)
+			if name == "" {
+				continue
+			}
+			out = append(out, []string{terms[rng.Intn(len(terms))], name})
+		case 2: // topical word + conference of that topic
+			name := sampleEntity(rng, c.ConfNames, c.Truth.ConfTopics, topic)
+			if name == "" {
+				continue
+			}
+			out = append(out, []string{terms[rng.Intn(len(terms))], name})
+		default: // single topical word
+			out = append(out, []string{terms[rng.Intn(len(terms))]})
+		}
+	}
+	return out
+}
+
+// sampleEntity picks a random entity (author/conference name) assigned
+// to the topic; "" when none matches after a bounded number of tries.
+func sampleEntity(rng *rand.Rand, names []string, topicsOf map[string][]int, topic int) string {
+	for try := 0; try < 30; try++ {
+		name := names[rng.Intn(len(names))]
+		for _, tp := range topicsOf[textindex.Normalize(name)] {
+			if tp == topic {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// TitleQueries derives the Table III-style workload from paper titles
+// (the analog of "keywords extracted from the title of 19 SIGMOD Best
+// Papers"): evenly spaced papers, first maxTerms topical title words
+// each. Deterministic by construction.
+func TitleQueries(c *dblpgen.Corpus, n, maxTerms int) ([][]string, error) {
+	if n < 1 || maxTerms < 1 {
+		return nil, fmt.Errorf("eval: bad TitleQueries arguments n=%d maxTerms=%d", n, maxTerms)
+	}
+	papers, err := c.DB.Table("papers")
+	if err != nil {
+		return nil, err
+	}
+	if papers.Len() == 0 {
+		return nil, fmt.Errorf("eval: empty papers table")
+	}
+	step := papers.Len() / n
+	if step == 0 {
+		step = 1
+	}
+	out := make([][]string, 0, n)
+	for i := 0; i < papers.Len() && len(out) < n; i += step {
+		tp, err := papers.Tuple(i)
+		if err != nil {
+			return nil, err
+		}
+		words := strings.Fields(tp.Values[1].Text())
+		if len(words) > maxTerms {
+			words = words[:maxTerms]
+		}
+		if len(words) > 0 {
+			out = append(out, words)
+		}
+	}
+	return out, nil
+}
+
+// RandomQueries samples count queries of exactly the given length from
+// the three fields the paper sampled ("author name, paper title and
+// conference name"), for the timing sweeps of Figs. 7–10. Terms within
+// one query come from the same topic so candidate lists stay realistic.
+func RandomQueries(c *dblpgen.Corpus, count, length int, seed int64) ([][]string, error) {
+	if count < 1 || length < 1 {
+		return nil, fmt.Errorf("eval: bad RandomQueries arguments count=%d length=%d", count, length)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	topics := len(c.Truth.TopicNames)
+	out := make([][]string, 0, count)
+	for len(out) < count {
+		topic := rng.Intn(topics)
+		terms := c.Truth.TopicTermList(topic)
+		if len(terms) < length {
+			continue
+		}
+		q := make([]string, 0, length)
+		used := map[int]bool{}
+		for len(q) < length {
+			// Mostly topical words; occasionally an entity name.
+			r := rng.Float64()
+			switch {
+			case r < 0.15:
+				if name := sampleEntity(rng, c.AuthorNames, c.Truth.AuthorTopics, topic); name != "" {
+					q = append(q, name)
+					continue
+				}
+				fallthrough
+			case r < 0.25:
+				if name := sampleEntity(rng, c.ConfNames, c.Truth.ConfTopics, topic); name != "" {
+					q = append(q, name)
+					continue
+				}
+				fallthrough
+			default:
+				i := rng.Intn(len(terms))
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				q = append(q, terms[i])
+			}
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

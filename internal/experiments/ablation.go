@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"kqr/internal/closeness"
+	"kqr/internal/core"
+	"kqr/internal/tatgraph"
+)
+
+// EngineWithLambda builds a reformulation engine over the setup's
+// providers with a specific Eq. 5–6 smoothing weight, for the smoothing
+// ablation.
+func EngineWithLambda(s *Setup, lambda float64) (*core.Engine, error) {
+	return core.New(s.TG, s.SimCtx, s.Clos, core.Options{
+		SmoothingLambda: lambda,
+		DropOriginal:    true,
+	})
+}
+
+// ClosenessWithBeam builds a fresh closeness store with the given beam
+// width over the setup's graph, for the pruning ablation. The returned
+// store has a cold cache.
+func ClosenessWithBeam(s *Setup, beam int) (*closeness.Store, *tatgraph.Graph, error) {
+	store, err := closeness.New(s.TG, closeness.Options{Beam: beam})
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, s.TG, nil
+}

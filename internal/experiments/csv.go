@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV renders any experiment's rows as CSV for external plotting.
+// Each Write*CSV helper emits a header row followed by one record per
+// data point.
+
+// WriteFig5CSV emits method, n, precision triples.
+func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "n", "precision"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for i, n := range r.Ns {
+			if err := cw.Write([]string{
+				string(r.Method), strconv.Itoa(n), formatFloat(r.Precision[i]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV emits length, algorithm, milliseconds triples.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"length", "algorithm", "ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, rec := range [][2]interface{}{{"alg2_topk_viterbi", r.Alg2}, {"alg3_viterbi_astar", r.Alg3}} {
+			if err := cw.Write([]string{
+				strconv.Itoa(r.Length), rec[0].(string), durMs(rec[1].(time.Duration)),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV emits length, stage, milliseconds triples.
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"length", "stage", "ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{strconv.Itoa(r.Length), "viterbi", durMs(r.Viterbi)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{strconv.Itoa(r.Length), "astar", durMs(r.AStar)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig9CSV emits k, stage, milliseconds triples.
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"k", "stage", "ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{strconv.Itoa(r.K), "viterbi", durMs(r.Viterbi)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{strconv.Itoa(r.K), "astar", durMs(r.AStar)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV emits n, milliseconds pairs.
+func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"candidates", "ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{strconv.Itoa(r.N), durMs(r.Total)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV emits method, result size, distance triples.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "result_size", "query_distance"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			string(r.Method), formatFloat(r.ResultSize), formatFloat(r.QueryDistance),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+func durMs(d time.Duration) string {
+	return fmt.Sprintf("%.4f", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedSetup builds one small corpus for every test in the package.
+var sharedSetup *Setup
+
+func setup(t *testing.T) *Setup {
+	t.Helper()
+	if sharedSetup == nil {
+		s, err := New(SmallCorpusConfig(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedSetup = s
+	}
+	return sharedSetup
+}
+
+func TestTable1(t *testing.T) {
+	s := setup(t)
+	rows, err := s.Table1([]string{"probabilistic"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if len(r.CloseTerms) == 0 || len(r.CloseConfs) == 0 {
+		t.Fatalf("empty close lists: %+v", r)
+	}
+	// Close terms of a title word are title words, not itself.
+	for _, term := range r.CloseTerms {
+		if term == "probabilistic" {
+			t.Fatal("target term in its own close list")
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "probabilistic") {
+		t.Fatalf("render: %q", out)
+	}
+	if _, err := s.Table1([]string{"notaterm"}, 5); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// Table II must reproduce the paper's qualitative claim mechanically:
+// the contextual walk finds the planted synonym partner, co-occurrence
+// does not.
+func TestTable2SynonymClaim(t *testing.T) {
+	s := setup(t)
+	// The partner never shares a tuple with the target, so the
+	// co-occurrence extractor cannot rank it at ANY position, while the
+	// contextual walk surfaces it at a moderate rank (below the target's
+	// direct co-occurring vocabulary, which is also related).
+	rows, err := s.Table2([]string{"probabilistic", "xml"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SynonymPartner == "" {
+			t.Fatalf("target %q has no planted partner", r.Target)
+		}
+		if r.CooccurPartnerRank >= 0 {
+			t.Fatalf("co-occurrence ranked never-co-occurring partner of %q at %d",
+				r.Target, r.CooccurPartnerRank)
+		}
+		if r.ContextualPartnerRank < 0 {
+			t.Fatalf("contextual walk missed partner %q of %q entirely",
+				r.SynonymPartner, r.Target)
+		}
+	}
+	if out := RenderTable2(rows); !strings.Contains(out, "contextual") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+// Fig. 5's headline shape: TAT-based precision dominates both baselines
+// at every N.
+func TestFig5Shape(t *testing.T) {
+	s := setup(t)
+	rows, err := s.Fig5(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("methods = %d", len(rows))
+	}
+	byMethod := map[MethodName][]float64{}
+	for _, r := range rows {
+		byMethod[r.Method] = r.Precision
+		for _, p := range r.Precision {
+			if p < 0 || p > 1 {
+				t.Fatalf("precision %v out of range for %s", p, r.Method)
+			}
+		}
+	}
+	tat, rank, co := byMethod[MethodTAT], byMethod[MethodRank], byMethod[MethodCooccur]
+	// Compare mean precision: TAT must not lose to either baseline.
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(tat) < mean(rank) || mean(tat) < mean(co) {
+		t.Fatalf("TAT %.3f should dominate Rank %.3f and Cooccur %.3f",
+			mean(tat), mean(rank), mean(co))
+	}
+	if out := RenderFig5(rows); !strings.Contains(out, "P@10") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	s := setup(t)
+	cfg := TimingConfig{QueriesPerPoint: 4, Reps: 1, K: 5}
+	rows7, err := s.Fig7(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) != 3 {
+		t.Fatalf("fig7 rows = %d", len(rows7))
+	}
+	for _, r := range rows7 {
+		if r.Alg2 <= 0 || r.Alg3 <= 0 {
+			t.Fatalf("non-positive timing %+v", r)
+		}
+	}
+	if out := RenderFig7(rows7); !strings.Contains(out, "speedup") {
+		t.Fatalf("render: %q", out)
+	}
+	rows8, err := s.Fig8(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != 3 {
+		t.Fatalf("fig8 rows = %d", len(rows8))
+	}
+	if out := RenderFig8(rows8); !strings.Contains(out, "Viterbi stage") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	s := setup(t)
+	cfg := TimingConfig{QueriesPerPoint: 4, Reps: 1}
+	rows9, err := s.Fig9(3, []int{1, 5, 10}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows9) != 3 {
+		t.Fatalf("fig9 rows = %d", len(rows9))
+	}
+	// Viterbi stage is k-independent: same duration reported per row.
+	for _, r := range rows9[1:] {
+		if r.Viterbi != rows9[0].Viterbi {
+			t.Fatalf("Viterbi stage varied with k: %+v", rows9)
+		}
+	}
+	if out := RenderFig9(rows9); !strings.Contains(out, "A* stage") {
+		t.Fatalf("render: %q", out)
+	}
+	rows10, err := s.Fig10(2, []int{5, 10}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows10) != 2 {
+		t.Fatalf("fig10 rows = %d", len(rows10))
+	}
+	for _, r := range rows10 {
+		if r.Total <= 0 {
+			t.Fatalf("non-positive total %+v", r)
+		}
+	}
+	if out := RenderFig10(rows10); !strings.Contains(out, "response time") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+// Table III's shape: the TAT method yields larger result sizes than the
+// rank-based baseline (the paper's headline contrast). Query distance
+// saturates at 2.0 on the synthetic corpus — every proposed substitute
+// co-occurs with its original somewhere — so only non-degeneracy is
+// asserted; see EXPERIMENTS.md.
+func TestTable3Shape(t *testing.T) {
+	s := setup(t)
+	rows, err := s.Table3(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[MethodName]Table3Row{}
+	for _, r := range rows {
+		if r.ResultSize < 0 || r.QueryDistance < 0 {
+			t.Fatalf("negative metric %+v", r)
+		}
+		byMethod[r.Method] = r
+	}
+	if byMethod[MethodTAT].ResultSize < byMethod[MethodRank].ResultSize {
+		t.Fatalf("TAT result size %.2f below Rank %.2f",
+			byMethod[MethodTAT].ResultSize, byMethod[MethodRank].ResultSize)
+	}
+	if out := RenderTable3(rows); !strings.Contains(out, "query distance") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	s := setup(t)
+	qs, err := s.SampleQueries(5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 5 {
+		t.Fatalf("sampled %d", len(qs))
+	}
+	for _, q := range qs {
+		if !s.Resolvable(q) {
+			t.Fatalf("unresolvable query %v", q)
+		}
+	}
+}
+
+func TestFig5Multi(t *testing.T) {
+	s := setup(t)
+	rows, err := s.Fig5Multi(6, []int64{5, 106, 207})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seeds != 3 {
+			t.Fatalf("seeds = %d", r.Seeds)
+		}
+		if len(r.Mean) != len(r.Ns) || len(r.Std) != len(r.Ns) {
+			t.Fatalf("ragged row %+v", r)
+		}
+		for i := range r.Mean {
+			if r.Mean[i] < 0 || r.Mean[i] > 1 || r.Std[i] < 0 {
+				t.Fatalf("bad stats %+v", r)
+			}
+		}
+	}
+	if out := RenderFig5Multi(rows); !strings.Contains(out, "±") {
+		t.Fatalf("render: %q", out)
+	}
+	if _, err := s.Fig5Multi(5, nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+}
+
+func TestSynonymRecall(t *testing.T) {
+	s := setup(t)
+	rows, err := s.SynonymRecall(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[string]SynonymRecallRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.Pairs == 0 {
+			t.Fatalf("method %s probed no pairs", r.Method)
+		}
+	}
+	// Co-occurrence is structurally blind to never-co-occurring pairs.
+	if byMethod["cooccurrence"].Found != 0 {
+		t.Fatalf("cooccurrence found %d pairs; corpus invariant broken",
+			byMethod["cooccurrence"].Found)
+	}
+	// The contextual walk must find the majority.
+	ctx := byMethod["contextual"]
+	if ctx.Found*2 < ctx.Pairs {
+		t.Fatalf("contextual found only %d/%d", ctx.Found, ctx.Pairs)
+	}
+	if out := RenderSynonymRecall(rows); !strings.Contains(out, "pairs found") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	s := setup(t)
+	var buf strings.Builder
+
+	f5, err := s.Fig5(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig5CSV(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "method,n,precision\n") {
+		t.Fatalf("fig5 csv header: %q", buf.String()[:40])
+	}
+	// 3 methods × 5 Ns + header.
+	if lines := strings.Count(strings.TrimSpace(buf.String()), "\n"); lines != 15 {
+		t.Fatalf("fig5 csv lines = %d", lines)
+	}
+
+	tcfg := TimingConfig{QueriesPerPoint: 3, Reps: 1}
+	f7, err := s.Fig7(2, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig7CSV(&buf, f7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "alg3_viterbi_astar") {
+		t.Fatalf("fig7 csv: %q", buf.String())
+	}
+
+	f8, err := s.Fig8(2, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig8CSV(&buf, f8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "viterbi") || !strings.Contains(buf.String(), "astar") {
+		t.Fatalf("fig8 csv: %q", buf.String())
+	}
+
+	f9, err := s.Fig9(2, []int{1, 5}, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig9CSV(&buf, f9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "k,stage,ms\n") {
+		t.Fatalf("fig9 csv: %q", buf.String())
+	}
+
+	f10, err := s.Fig10(2, []int{5}, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig10CSV(&buf, f10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "candidates,ms\n") {
+		t.Fatalf("fig10 csv: %q", buf.String())
+	}
+
+	t3, err := s.Table3(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteTable3CSV(&buf, t3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TAT-based") {
+		t.Fatalf("table3 csv: %q", buf.String())
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"kqr/internal/core"
+	"kqr/internal/eval"
+	"kqr/internal/graph"
+)
+
+// --- Table I: extracted close terms ---
+
+// Table1Row is one target term with its ranked close terms and close
+// conferences (paper Table I).
+type Table1Row struct {
+	Target     string
+	CloseTerms []string
+	CloseConfs []string
+}
+
+// Table1 extracts the k closest title terms and conference names for
+// each target term.
+func (s *Setup) Table1(targets []string, k int) ([]Table1Row, error) {
+	out := make([]Table1Row, 0, len(targets))
+	for _, target := range targets {
+		node, err := s.TAT.ResolveTerm(target)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Target: target}
+		for _, sn := range s.Clos.CloseTerms(node, k, "papers.title") {
+			row.CloseTerms = append(row.CloseTerms, s.TG.TermText(sn.Node))
+		}
+		for _, sn := range s.Clos.CloseTerms(node, k, "conferences.name") {
+			row.CloseConfs = append(row.CloseConfs, s.TG.TermText(sn.Node))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- Table II: similar topic extraction case study ---
+
+// Table2Row contrasts the two similarity extractors on one target term
+// (paper Table II).
+type Table2Row struct {
+	Target     string
+	Cooccur    []string // frequent co-occurrence method
+	Contextual []string // proposed contextual random walk
+	// SynonymPartner is the planted partner of the target ("" if none);
+	// the rank fields record where it appears in each extractor's full
+	// candidate list (-1 = absent at any rank). This is the mechanical
+	// version of the paper's qualitative claim: the partner never
+	// co-occurs with the target, so the co-occurrence method cannot
+	// rank it at all, while the contextual walk surfaces it.
+	SynonymPartner        string
+	CooccurPartnerRank    int
+	ContextualPartnerRank int
+}
+
+// Table2 runs both extractors on each target.
+func (s *Setup) Table2(targets []string, k int) ([]Table2Row, error) {
+	out := make([]Table2Row, 0, len(targets))
+	for _, target := range targets {
+		node, err := s.TAT.ResolveTerm(target)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Target:                target,
+			SynonymPartner:        s.Corpus.Truth.Synonym[target],
+			CooccurPartnerRank:    -1,
+			ContextualPartnerRank: -1,
+		}
+		co, err := s.SimCo.SimilarNodes(node, 0) // full cached list
+		if err != nil {
+			return nil, err
+		}
+		for i, sn := range co {
+			text := s.TG.TermText(sn.Node)
+			if i < k {
+				row.Cooccur = append(row.Cooccur, text)
+			}
+			if text == row.SynonymPartner {
+				row.CooccurPartnerRank = i
+			}
+		}
+		ctx, err := s.SimCtx.SimilarNodes(node, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i, sn := range ctx {
+			text := s.TG.TermText(sn.Node)
+			if i < k {
+				row.Contextual = append(row.Contextual, text)
+			}
+			if text == row.SynonymPartner {
+				row.ContextualPartnerRank = i
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- Fig. 5: Precision@N of the three reformulation methods ---
+
+// MethodName identifies a reformulation method in result rows.
+type MethodName string
+
+// The three methods of §VI-B.
+const (
+	MethodTAT     MethodName = "TAT-based"
+	MethodRank    MethodName = "Rank-based"
+	MethodCooccur MethodName = "Co-occurrence"
+)
+
+// Fig5Row is one method's precision curve.
+type Fig5Row struct {
+	Method    MethodName
+	Ns        []int
+	Precision []float64 // Precision@Ns[i], averaged over queries
+}
+
+// reformulateWith dispatches one method.
+func (s *Setup) reformulateWith(method MethodName, query []string, k int) ([]core.Reformulation, error) {
+	switch method {
+	case MethodTAT:
+		return s.TAT.Reformulate(query, k)
+	case MethodRank:
+		return s.TAT.ReformulateRankBased(query, k)
+	case MethodCooccur:
+		return s.Co.Reformulate(query, k)
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", method)
+	}
+}
+
+// Fig5 runs the precision experiment: numQueries mixed-format queries
+// (the paper used 10), top-10 reformulations per method, relevance from
+// the latent-topic judge, Precision@{1,3,5,7,10}.
+func (s *Setup) Fig5(numQueries int, seed int64) ([]Fig5Row, error) {
+	ns := []int{1, 3, 5, 7, 10}
+	queries := s.FilterResolvable(eval.MixedQueries(s.Corpus, numQueries*3, seed))
+	if len(queries) > numQueries {
+		queries = queries[:numQueries]
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no resolvable queries sampled")
+	}
+	methods := []MethodName{MethodTAT, MethodRank, MethodCooccur}
+	out := make([]Fig5Row, 0, len(methods))
+	for _, method := range methods {
+		sums := make([]float64, len(ns))
+		for _, q := range queries {
+			refs, err := s.reformulateWith(method, q, 10)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", method, q, err)
+			}
+			rels := make([]bool, len(refs))
+			for i, r := range refs {
+				rels[i] = s.Judge.QueryRelevant(q, r.Terms)
+			}
+			for i, n := range ns {
+				sums[i] += eval.PrecisionAtN(rels, n)
+			}
+		}
+		row := Fig5Row{Method: method, Ns: ns, Precision: make([]float64, len(ns))}
+		for i := range ns {
+			row.Precision[i] = sums[i] / float64(len(queries))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- Table III: effect on reformulated query results ---
+
+// Table3Row is one method's result-quality summary.
+type Table3Row struct {
+	Method MethodName
+	// ResultSize is the mean keyword-search result count over the top-10
+	// reformulations of every query ("larger means higher quality").
+	ResultSize float64
+	// QueryDistance is the mean TAT-graph term distance between the
+	// reformulations and their originals ("reflects diversity").
+	QueryDistance float64
+}
+
+// Table3 runs the result-quality experiment over title-derived queries
+// (the analog of the paper's 19 SIGMOD-best-paper-title workload).
+func (s *Setup) Table3(numQueries, maxTerms int) ([]Table3Row, error) {
+	queries, err := eval.TitleQueries(s.Corpus, numQueries, maxTerms)
+	if err != nil {
+		return nil, err
+	}
+	queries = s.FilterResolvable(queries)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no resolvable title queries")
+	}
+	methods := []MethodName{MethodTAT, MethodRank, MethodCooccur}
+	out := make([]Table3Row, 0, len(methods))
+	for _, method := range methods {
+		sizeSum, distSum, count := 0.0, 0.0, 0
+		for _, q := range queries {
+			origNodes, err := s.resolveAll(q)
+			if err != nil {
+				return nil, err
+			}
+			refs, err := s.reformulateWith(method, q, 10)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", method, q, err)
+			}
+			for _, r := range refs {
+				size, err := s.Searcher.ResultSize(r.Terms)
+				if err != nil {
+					return nil, err
+				}
+				sizeSum += float64(size)
+				distSum += s.Meter.QueryDistance(origNodes, r.Nodes)
+				count++
+			}
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("experiments: method %s produced no reformulations", method)
+		}
+		out = append(out, Table3Row{
+			Method:        method,
+			ResultSize:    sizeSum / float64(count),
+			QueryDistance: distSum / float64(count),
+		})
+	}
+	return out, nil
+}
+
+func (s *Setup) resolveAll(query []string) ([]graph.NodeID, error) {
+	nodes := make([]graph.NodeID, len(query))
+	for i, term := range query {
+		v, err := s.TAT.ResolveTerm(term)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = v
+	}
+	return nodes, nil
+}
+
+// FormatList joins ranked terms for table rendering.
+func FormatList(terms []string, max int) string {
+	if len(terms) > max {
+		terms = terms[:max]
+	}
+	return strings.Join(terms, ", ")
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// renderTable formats rows of cells into an aligned text table with a
+// header rule.
+func renderTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	rule := make([]string, len(header))
+	for i, h := range header {
+		rule[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(rule, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ms renders a duration in milliseconds with three decimals.
+func ms(d float64) string { return fmt.Sprintf("%.3f", d) }
+
+// RenderTable1 formats Table I rows.
+func RenderTable1(rows []Table1Row) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{r.Target, FormatList(r.CloseTerms, 6), FormatList(r.CloseConfs, 3)}
+	}
+	return "Table I — extracted close terms\n" +
+		renderTable([]string{"target term", "ranked close terms", "ranked close conferences"}, cells)
+}
+
+// RenderTable2 formats Table II rows.
+func RenderTable2(rows []Table2Row) string {
+	cells := make([][]string, 0, len(rows)*2)
+	for _, r := range rows {
+		synNote := ""
+		if r.SynonymPartner != "" {
+			rankOf := func(rank int) string {
+				if rank < 0 {
+					return "absent"
+				}
+				return fmt.Sprintf("rank %d", rank+1)
+			}
+			synNote = fmt.Sprintf(" [planted partner %q: cooccur %s, contextual %s]",
+				r.SynonymPartner, rankOf(r.CooccurPartnerRank), rankOf(r.ContextualPartnerRank))
+		}
+		cells = append(cells,
+			[]string{r.Target, "co-occurrence", FormatList(r.Cooccur, 8)},
+			[]string{"", "contextual walk", FormatList(r.Contextual, 8) + synNote},
+		)
+	}
+	return "Table II — similar topic extraction (co-occurrence vs contextual random walk)\n" +
+		renderTable([]string{"target", "method", "similar terms"}, cells)
+}
+
+// RenderFig5 formats the precision comparison.
+func RenderFig5(rows []Fig5Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"method"}
+	for _, n := range rows[0].Ns {
+		header = append(header, fmt.Sprintf("P@%d", n))
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		row := []string{string(r.Method)}
+		for _, p := range r.Precision {
+			row = append(row, fmt.Sprintf("%.3f", p))
+		}
+		cells[i] = row
+	}
+	return "Fig. 5 — query generation precision of different methods\n" +
+		renderTable(header, cells)
+}
+
+// RenderFig7 formats the decoder comparison.
+func RenderFig7(rows []Fig7Row) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			fmt.Sprintf("%d", r.Length),
+			ms(float64(r.Alg2.Microseconds()) / 1000),
+			ms(float64(r.Alg3.Microseconds()) / 1000),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		}
+	}
+	return "Fig. 7 — time cost of query generation algorithms (per query)\n" +
+		renderTable([]string{"query length", "Alg2 top-k Viterbi (ms)", "Alg3 Viterbi+A* (ms)", "speedup"}, cells)
+}
+
+// RenderFig8 formats the stage split.
+func RenderFig8(rows []Fig8Row) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			fmt.Sprintf("%d", r.Length),
+			ms(float64(r.Viterbi.Microseconds()) / 1000),
+			ms(float64(r.AStar.Microseconds()) / 1000),
+		}
+	}
+	return "Fig. 8 — time cost of the two stages of Algorithm 3 (per query)\n" +
+		renderTable([]string{"query length", "Viterbi stage (ms)", "A* stage (ms)"}, cells)
+}
+
+// RenderFig9 formats the k sweep.
+func RenderFig9(rows []Fig9Row) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			fmt.Sprintf("%d", r.K),
+			ms(float64(r.Viterbi.Microseconds()) / 1000),
+			ms(float64(r.AStar.Microseconds()) / 1000),
+		}
+	}
+	return "Fig. 9 — time cost vs number of returned queries k (per query)\n" +
+		renderTable([]string{"k", "Viterbi stage (ms)", "A* stage (ms)"}, cells)
+}
+
+// RenderFig10 formats the candidate-size sweep.
+func RenderFig10(rows []Fig10Row) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			fmt.Sprintf("%d", r.N),
+			ms(float64(r.Total.Microseconds()) / 1000),
+		}
+	}
+	return "Fig. 10 — time cost vs size of candidate states (per query, online stage)\n" +
+		renderTable([]string{"candidates per term", "response time (ms)"}, cells)
+}
+
+// RenderTable3 formats the result-quality comparison.
+func RenderTable3(rows []Table3Row) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			string(r.Method),
+			fmt.Sprintf("%.2f", r.ResultSize),
+			fmt.Sprintf("%.2f", r.QueryDistance),
+		}
+	}
+	return "Table III — result size and query distance of reformulated queries\n" +
+		renderTable([]string{"method", "result size", "query distance"}, cells)
+}

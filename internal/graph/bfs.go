@@ -1,0 +1,95 @@
+package graph
+
+// BFS runs a breadth-first search from src up to maxDepth hops (negative
+// means unbounded) and calls visit for every reached node with its hop
+// distance, including src at distance 0. Traversal stops early when
+// visit returns false.
+func (g *Graph) BFS(src NodeID, maxDepth int, visit func(v NodeID, depth int) bool) {
+	if int(src) >= g.NumNodes() || src < 0 {
+		return
+	}
+	seen := make(map[NodeID]bool, 64)
+	seen[src] = true
+	frontier := []NodeID{src}
+	depth := 0
+	if !visit(src, 0) {
+		return
+	}
+	for len(frontier) > 0 {
+		if maxDepth >= 0 && depth >= maxDepth {
+			return
+		}
+		depth++
+		var next []NodeID
+		for _, u := range frontier {
+			stop := false
+			g.Neighbors(u, func(v NodeID, _ float64) bool {
+				if seen[v] {
+					return true
+				}
+				seen[v] = true
+				next = append(next, v)
+				if !visit(v, depth) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+		}
+		frontier = next
+	}
+}
+
+// HopDistance returns the unweighted shortest-path length between u and
+// v, searching at most maxDepth hops. The second return is false when v
+// is unreachable within the bound.
+func (g *Graph) HopDistance(u, v NodeID, maxDepth int) (int, bool) {
+	if u == v {
+		return 0, true
+	}
+	dist := -1
+	g.BFS(u, maxDepth, func(x NodeID, d int) bool {
+		if x == v {
+			dist = d
+			return false
+		}
+		return true
+	})
+	if dist < 0 {
+		return 0, false
+	}
+	return dist, true
+}
+
+// ComponentOf returns all nodes connected to src (including src), in BFS
+// order. Useful for corpus sanity checks.
+func (g *Graph) ComponentOf(src NodeID) []NodeID {
+	var out []NodeID
+	g.BFS(src, -1, func(v NodeID, _ int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// NumComponents counts connected components; isolated nodes count as
+// their own component.
+func (g *Graph) NumComponents() int {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	count := 0
+	for u := 0; u < n; u++ {
+		if seen[u] {
+			continue
+		}
+		count++
+		g.BFS(NodeID(u), -1, func(v NodeID, _ int) bool {
+			seen[v] = true
+			return true
+		})
+	}
+	return count
+}

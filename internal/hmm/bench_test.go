@@ -1,0 +1,43 @@
+package hmm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchModel builds a representative online model: 6 steps × 20 states,
+// dense transitions.
+func benchModel(states int) *Model {
+	rng := rand.New(rand.NewSource(42))
+	return randomModel(rng, 6, states)
+}
+
+func BenchmarkViterbi(b *testing.B) {
+	m := benchModel(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Viterbi(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKViterbi(b *testing.B) {
+	m := benchModel(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TopKViterbi(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKAStar(b *testing.B) {
+	m := benchModel(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.TopKAStar(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package hmm implements the first-order hidden Markov model that the
+// paper's online stage uses to turn per-term candidate lists into
+// reformulated queries (§V-B), together with three decoders:
+//
+//   - Viterbi: the classic top-1 dynamic program.
+//   - TopKViterbi: the paper's Algorithm 2 — Viterbi generalized to keep
+//     the k best partial paths per state per step, O(m·n²·k·log k).
+//   - TopKAStar: the paper's Algorithm 3 — one Viterbi forward pass to
+//     collect exact heuristic scores, then a best-first A* backward
+//     search that expands only the partial paths that can still reach
+//     the top k.
+//
+// The model is positional: step c has its own state list (the candidate
+// terms of query slot c), its own emission column, and transitions are
+// evaluated lazily through a function (a closeness lookup in practice).
+package hmm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TransFunc returns the transition probability of moving from state
+// `from` of step-1 `step-1` to state `to` of step `step` (1 <= step < m).
+type TransFunc func(step, from, to int) float64
+
+// Model describes one decoding problem. All probabilities are plain
+// (not log) values; with m <= a few dozen steps float64 underflow is not
+// a concern and zero stays a meaningful "impossible" marker.
+type Model struct {
+	// Pi is the initial distribution over the states of step 0.
+	Pi []float64
+	// Emit[c][i] is the emission probability of the observed query term
+	// c from hidden state i of step c. len(Emit) is the step count m;
+	// len(Emit[c]) is the state count of step c.
+	Emit [][]float64
+	// Trans evaluates transition probabilities between adjacent steps.
+	Trans TransFunc
+}
+
+// Steps returns the number of steps m.
+func (m *Model) Steps() int { return len(m.Emit) }
+
+// Validate checks structural consistency: at least one step, matching
+// Pi length, non-empty state lists, non-negative finite probabilities,
+// and a transition function when m > 1.
+func (m *Model) Validate() error {
+	if len(m.Emit) == 0 {
+		return fmt.Errorf("hmm: model has no steps")
+	}
+	if len(m.Pi) != len(m.Emit[0]) {
+		return fmt.Errorf("hmm: Pi has %d entries, step 0 has %d states", len(m.Pi), len(m.Emit[0]))
+	}
+	for c, col := range m.Emit {
+		if len(col) == 0 {
+			return fmt.Errorf("hmm: step %d has no states", c)
+		}
+		for i, p := range col {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return fmt.Errorf("hmm: emission[%d][%d] = %v invalid", c, i, p)
+			}
+		}
+	}
+	for i, p := range m.Pi {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("hmm: Pi[%d] = %v invalid", i, p)
+		}
+	}
+	if len(m.Emit) > 1 && m.Trans == nil {
+		return fmt.Errorf("hmm: multi-step model needs a transition function")
+	}
+	return nil
+}
+
+// Path is a decoded hidden-state sequence with its probability
+// (Eq. 10: π(s₀)·B₀(s₀)·Π A·B).
+type Path struct {
+	States []int
+	Score  float64
+}
+
+// Score recomputes a path's probability under the model; used by tests
+// and by callers that post-process paths.
+func (m *Model) Score(states []int) (float64, error) {
+	if len(states) != m.Steps() {
+		return 0, fmt.Errorf("hmm: path has %d states, model has %d steps", len(states), m.Steps())
+	}
+	for c, s := range states {
+		if s < 0 || s >= len(m.Emit[c]) {
+			return 0, fmt.Errorf("hmm: state %d out of range at step %d", s, c)
+		}
+	}
+	score := m.Pi[states[0]] * m.Emit[0][states[0]]
+	for c := 1; c < len(states); c++ {
+		score *= m.Trans(c, states[c-1], states[c]) * m.Emit[c][states[c]]
+	}
+	return score, nil
+}
+
+// forward runs the Viterbi dynamic program and returns, per step and
+// state, the best prefix score ending there (h in Algorithm 3) plus the
+// backpointers of the best path.
+func (m *Model) forward() (h [][]float64, back [][]int) {
+	steps := m.Steps()
+	h = make([][]float64, steps)
+	back = make([][]int, steps)
+	h[0] = make([]float64, len(m.Emit[0]))
+	back[0] = make([]int, len(m.Emit[0]))
+	for i := range h[0] {
+		h[0][i] = m.Pi[i] * m.Emit[0][i]
+		back[0][i] = -1
+	}
+	for c := 1; c < steps; c++ {
+		n := len(m.Emit[c])
+		prevN := len(m.Emit[c-1])
+		h[c] = make([]float64, n)
+		back[c] = make([]int, n)
+		for j := 0; j < n; j++ {
+			best, bestPrev := 0.0, -1
+			for i := 0; i < prevN; i++ {
+				if h[c-1][i] == 0 {
+					continue
+				}
+				s := h[c-1][i] * m.Trans(c, i, j)
+				if s > best {
+					best, bestPrev = s, i
+				}
+			}
+			h[c][j] = best * m.Emit[c][j]
+			back[c][j] = bestPrev
+		}
+	}
+	return h, back
+}
+
+// Viterbi returns the single most probable hidden-state sequence. If
+// every complete path has probability zero it returns ok=false.
+func (m *Model) Viterbi() (Path, bool, error) {
+	if err := m.Validate(); err != nil {
+		return Path{}, false, err
+	}
+	h, back := m.forward()
+	last := m.Steps() - 1
+	best, bestState := 0.0, -1
+	for i, s := range h[last] {
+		if s > best {
+			best, bestState = s, i
+		}
+	}
+	if bestState < 0 {
+		return Path{}, false, nil
+	}
+	states := make([]int, m.Steps())
+	for c, s := last, bestState; c >= 0; c-- {
+		states[c] = s
+		s = back[c][s]
+	}
+	return Path{States: states, Score: best}, true, nil
+}
+
+// sortPaths orders by descending score with lexicographic state order as
+// the deterministic tie-break.
+func sortPaths(ps []Path) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		a, b := ps[i].States, ps[j].States
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,188 @@
+package keywordsearch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kqr/internal/graph"
+	"kqr/internal/relstore"
+	"kqr/internal/tatgraph"
+	"kqr/internal/testcorpus"
+)
+
+// randomCorpus builds a small random bibliographic database from a tiny
+// vocabulary so that keyword overlaps are frequent.
+func randomCorpus(seed int64) (*tatgraph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "omega", "sigma"}
+	confs := []string{"C1", "C2"}
+	authors := []string{"A1", "A2", "A3"}
+	var papers []testcorpus.Paper
+	n := 4 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		words := map[string]bool{}
+		for len(words) < 2+rng.Intn(3) {
+			words[vocab[rng.Intn(len(vocab))]] = true
+		}
+		var title []string
+		for w := range words {
+			title = append(title, w)
+		}
+		papers = append(papers, testcorpus.Paper{
+			Title:   strings.Join(title, " "),
+			Conf:    confs[rng.Intn(len(confs))],
+			Authors: []string{authors[rng.Intn(len(authors))]},
+		})
+	}
+	db := relstore.NewDatabase()
+	if err := testcorpus.BibSchema(db); err != nil {
+		return nil, err
+	}
+	if err := testcorpus.Load(db, papers); err != nil {
+		return nil, err
+	}
+	return tatgraph.Build(db, tatgraph.Options{})
+}
+
+// tupleContains reports whether the tuple node carries the keyword as a
+// directly attached term.
+func tupleContains(tg *tatgraph.Graph, id relstore.TupleID, keyword string) bool {
+	node, ok := tg.TupleNode(id)
+	if !ok {
+		return false
+	}
+	found := false
+	tg.CSR().Neighbors(node, func(v graph.NodeID, _ float64) bool {
+		if tg.Kind(v) == tatgraph.KindTerm && tg.TermText(v) == keyword {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// treeConnected verifies the result's tuple set induces a connected
+// subgraph of the tuple graph.
+func treeConnected(tg *tatgraph.Graph, tuples []relstore.TupleID) bool {
+	if len(tuples) <= 1 {
+		return true
+	}
+	inTree := make(map[graph.NodeID]bool, len(tuples))
+	var nodes []graph.NodeID
+	for _, id := range tuples {
+		v, ok := tg.TupleNode(id)
+		if !ok {
+			return false
+		}
+		inTree[v] = true
+		nodes = append(nodes, v)
+	}
+	seen := map[graph.NodeID]bool{nodes[0]: true}
+	frontier := []graph.NodeID{nodes[0]}
+	for len(frontier) > 0 {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			tg.CSR().Neighbors(u, func(v graph.NodeID, _ float64) bool {
+				if inTree[v] && !seen[v] {
+					seen[v] = true
+					next = append(next, v)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	return len(seen) == len(nodes)
+}
+
+// Property: every result of a two-keyword search is a connected tuple
+// tree that covers both keywords, with distinct tuples, and the result
+// list is duplicate-free.
+func TestResultTreesWellFormedProperty(t *testing.T) {
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	f := func(seed int64, a, b uint8) bool {
+		tg, err := randomCorpus(seed)
+		if err != nil {
+			return false
+		}
+		s, err := New(tg, Options{MaxResults: 100})
+		if err != nil {
+			return false
+		}
+		kws := []string{vocab[int(a)%len(vocab)], vocab[int(b)%len(vocab)]}
+		if kws[0] == kws[1] {
+			kws = kws[:1]
+		}
+		results, _, err := s.Search(kws)
+		if err != nil {
+			return false
+		}
+		seenTrees := map[string]bool{}
+		for _, r := range results {
+			distinct := map[relstore.TupleID]bool{}
+			for _, id := range r.Tuples {
+				if distinct[id] {
+					return false // duplicate tuple inside one tree
+				}
+				distinct[id] = true
+			}
+			for _, kw := range kws {
+				covered := false
+				for _, id := range r.Tuples {
+					if tupleContains(tg, id, kw) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+			if !treeConnected(tg, r.Tuples) {
+				return false
+			}
+			key := treeKey(r.Tuples)
+			if seenTrees[key] {
+				return false // duplicate tree across results
+			}
+			seenTrees[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: result totals are monotone in the radius — widening the
+// search never loses trees.
+func TestRadiusMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tg, err := randomCorpus(seed)
+		if err != nil {
+			return false
+		}
+		prev := -1
+		for radius := 1; radius <= 4; radius++ {
+			s, err := New(tg, Options{MaxResults: 1000, MaxRadius: radius})
+			if err != nil {
+				return false
+			}
+			_, total, err := s.Search([]string{"alpha", "beta"})
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && total < prev {
+				return false
+			}
+			prev = total
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package randomwalk
+
+import (
+	"testing"
+
+	"kqr/internal/dblpgen"
+	"kqr/internal/tatgraph"
+)
+
+func benchGraph(b *testing.B) *tatgraph.Graph {
+	b.Helper()
+	c, err := dblpgen.Generate(dblpgen.Config{Seed: 1, Topics: 8, Confs: 32, Authors: 600, Papers: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg, err := tatgraph.Build(c.DB, tatgraph.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tg
+}
+
+// BenchmarkScores measures one full power iteration to convergence on
+// the experiment-scale graph (~10k nodes).
+func BenchmarkScores(b *testing.B) {
+	tg := benchGraph(b)
+	nodes := tg.FindTerm("probabilistic")
+	if len(nodes) == 0 {
+		b.Fatal("missing term")
+	}
+	pref := tg.ContextPreference(nodes[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Scores(tg.CSR(), pref, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarNodesCold measures uncached similar-term extraction
+// (the offline per-term cost).
+func BenchmarkSimilarNodesCold(b *testing.B) {
+	tg := benchGraph(b)
+	nodes := tg.FindTerm("probabilistic")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := NewExtractor(tg, Contextual, Options{})
+		if _, err := ex.SimilarNodes(nodes[0], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarNodesWarm measures the cached lookup (the online cost).
+func BenchmarkSimilarNodesWarm(b *testing.B) {
+	tg := benchGraph(b)
+	nodes := tg.FindTerm("probabilistic")
+	ex := NewExtractor(tg, Contextual, Options{})
+	if _, err := ex.SimilarNodes(nodes[0], 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.SimilarNodes(nodes[0], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

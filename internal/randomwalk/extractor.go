@@ -1,0 +1,172 @@
+package randomwalk
+
+import (
+	"sync"
+
+	"kqr/internal/graph"
+	"kqr/internal/tatgraph"
+)
+
+// PreferenceMode selects how the restart distribution is built.
+type PreferenceMode int
+
+const (
+	// Contextual restarts at the start node's context (Algorithm 1) —
+	// the paper's improved model.
+	Contextual PreferenceMode = iota
+	// Individual restarts at the start node itself — the basic model,
+	// kept as the ablation baseline (paper §IV-B2, Fig. 4).
+	Individual
+)
+
+// String names the mode.
+func (m PreferenceMode) String() string {
+	if m == Individual {
+		return "individual"
+	}
+	return "contextual"
+}
+
+// Extractor performs similar-term extraction over a TAT graph. Results
+// are cached per start node, so repeated queries (and the offline
+// precomputation pass) do not re-run the walk. It is safe for concurrent
+// use.
+type Extractor struct {
+	tg   *tatgraph.Graph
+	opts Options
+	mode PreferenceMode
+
+	mu    sync.Mutex
+	cache map[graph.NodeID][]graph.Scored
+}
+
+// NewExtractor builds an extractor. Options zero-values get defaults.
+func NewExtractor(tg *tatgraph.Graph, mode PreferenceMode, opts Options) *Extractor {
+	return &Extractor{
+		tg:    tg,
+		opts:  opts,
+		mode:  mode,
+		cache: make(map[graph.NodeID][]graph.Scored),
+	}
+}
+
+// Mode returns the extractor's preference mode.
+func (e *Extractor) Mode() PreferenceMode { return e.mode }
+
+// maxKept bounds how many similar nodes are cached per start node; 64
+// comfortably exceeds any candidate-list size used online (paper Fig. 10
+// tops out at 50).
+const maxKept = 64
+
+// SimilarNodes returns up to k nodes of the same class as t0, ranked by
+// contextual random-walk score, excluding t0 itself. Scores are
+// normalized so the best candidate scores 1; downstream emission
+// probabilities renormalize anyway, and relative order is what matters.
+func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error) {
+	if k <= 0 || k > maxKept {
+		k = maxKept
+	}
+	e.mu.Lock()
+	cached, ok := e.cache[t0]
+	e.mu.Unlock()
+	if !ok {
+		var pref map[graph.NodeID]float64
+		if e.mode == Contextual {
+			pref = e.tg.ContextPreference(t0)
+		} else {
+			pref = e.tg.SelfPreference(t0)
+		}
+		scores, _, err := Scores(e.tg.CSR(), pref, e.opts)
+		if err != nil {
+			return nil, err
+		}
+		// Discount hub terms by idf before ranking: generic words
+		// ("efficient", "framework") accumulate walk mass from every
+		// direction without being substitutable for anything. The same
+		// inverse-occurrence weight that biases the preference vector
+		// (Algorithm 1) debiases the result ranking; the raw
+		// co-occurrence baseline has no such correction, which is one of
+		// the contrasts Table II draws.
+		weighted := make([]float64, len(scores))
+		for i, s := range scores {
+			if s > 0 {
+				weighted[i] = s * e.tg.IDF(graph.NodeID(i))
+			}
+		}
+		top := TopNodes(weighted, maxKept, func(v graph.NodeID) bool {
+			return v != t0 && e.tg.SameClass(v, t0)
+		})
+		if len(top) > 0 && top[0].Score > 0 {
+			norm := top[0].Score
+			for i := range top {
+				top[i].Score /= norm
+			}
+		}
+		e.mu.Lock()
+		e.cache[t0] = top
+		e.mu.Unlock()
+		cached = top
+	}
+	if len(cached) > k {
+		cached = cached[:k]
+	}
+	return cached, nil
+}
+
+// Sim returns the similarity of candidate t to start node t0: its
+// normalized walk score, or 0 if t is not among t0's cached similar
+// nodes. Identity is defined as 1.
+func (e *Extractor) Sim(t0, t graph.NodeID) (float64, error) {
+	if t0 == t {
+		return 1, nil
+	}
+	list, err := e.SimilarNodes(t0, maxKept)
+	if err != nil {
+		return 0, err
+	}
+	for _, sn := range list {
+		if sn.Node == t {
+			return sn.Score, nil
+		}
+	}
+	return 0, nil
+}
+
+// Precompute runs extraction for every given start node, warming the
+// cache. It is the offline stage of the paper's pipeline.
+func (e *Extractor) Precompute(nodes []graph.NodeID) error {
+	for _, v := range nodes {
+		if _, err := e.SimilarNodes(v, maxKept); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the cached similar-term lists, keyed by start node,
+// for persistence of the offline stage.
+func (e *Extractor) Snapshot() map[graph.NodeID][]graph.Scored {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[graph.NodeID][]graph.Scored, len(e.cache))
+	for v, list := range e.cache {
+		cp := make([]graph.Scored, len(list))
+		copy(cp, list)
+		out[v] = cp
+	}
+	return out
+}
+
+// Restore replaces the cache with previously snapshotted lists. Entries
+// are trusted as-is; callers must ensure the snapshot was taken over an
+// identically built graph.
+func (e *Extractor) Restore(snap map[graph.NodeID][]graph.Scored) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[graph.NodeID][]graph.Scored, len(snap))
+	for v, list := range snap {
+		cp := make([]graph.Scored, len(list))
+		copy(cp, list)
+		e.cache[v] = cp
+	}
+}

@@ -1,0 +1,119 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TextMode controls how a textual column is turned into term nodes when
+// the term-augmented tuple graph is built.
+type TextMode int
+
+const (
+	// TextNone marks a column that is never indexed as terms (e.g. a
+	// surrogate key or an opaque code).
+	TextNone TextMode = iota
+	// TextSegmented marks a free-text column (such as a paper title)
+	// that is tokenized into individual terms.
+	TextSegmented
+	// TextAtomic marks a column whose whole value is one semantic unit
+	// (such as an author name or a conference name) and must not be
+	// segmented. The paper calls these "searchable as simple term nodes".
+	TextAtomic
+)
+
+// String returns the mode name, for diagnostics.
+func (m TextMode) String() string {
+	switch m {
+	case TextNone:
+		return "none"
+	case TextSegmented:
+		return "segmented"
+	case TextAtomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("TextMode(%d)", int(m))
+	}
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	// Name is the attribute name, unique within the table.
+	Name string
+	// Kind is the value type stored in the column.
+	Kind Kind
+	// Text controls term extraction for the TAT graph.
+	Text TextMode
+}
+
+// ForeignKey declares that a column references the primary key of
+// another table.
+type ForeignKey struct {
+	// Column is the referencing column in this table.
+	Column string
+	// RefTable is the referenced table; the referenced column is that
+	// table's primary key.
+	RefTable string
+}
+
+// Schema describes a table: its columns, primary key and outgoing
+// foreign-key references.
+type Schema struct {
+	// Name is the table name, unique within the database.
+	Name string
+	// Columns lists the attributes in storage order.
+	Columns []Column
+	// PrimaryKey names the column whose values uniquely identify tuples.
+	// It may be empty for tables addressed only by row id (e.g. pure
+	// association tables).
+	PrimaryKey string
+	// ForeignKeys lists outgoing references.
+	ForeignKeys []ForeignKey
+}
+
+var errNoColumns = errors.New("relstore: schema has no columns")
+
+// validate checks internal consistency of the schema (not cross-table
+// references, which need the database).
+func (s *Schema) validate() error {
+	if s.Name == "" {
+		return errors.New("relstore: schema has empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("%w (table %q)", errNoColumns, s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relstore: table %q has a column with empty name", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relstore: table %q declares column %q twice", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if s.PrimaryKey != "" && !seen[s.PrimaryKey] {
+		return fmt.Errorf("relstore: table %q primary key %q is not a column", s.Name, s.PrimaryKey)
+	}
+	fkSeen := make(map[string]bool, len(s.ForeignKeys))
+	for _, fk := range s.ForeignKeys {
+		if !seen[fk.Column] {
+			return fmt.Errorf("relstore: table %q foreign key on unknown column %q", s.Name, fk.Column)
+		}
+		if fkSeen[fk.Column] {
+			return fmt.Errorf("relstore: table %q declares two foreign keys on column %q", s.Name, fk.Column)
+		}
+		fkSeen[fk.Column] = true
+	}
+	return nil
+}
+
+// ColumnIndex returns the position of the named column, or -1 if absent.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

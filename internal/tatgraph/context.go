@@ -1,0 +1,53 @@
+package tatgraph
+
+import "kqr/internal/graph"
+
+// ContextPreference computes the contextual preference vector of
+// Algorithm 1 for a starting node t0. The context of a node is its
+// direct neighborhood (Definition 6: a term's context is the tuples it
+// occurs in; a tuple's context is its terms plus referenced tuples).
+//
+// Each context node v_c is weighted
+//
+//	w(v_c) = 1/|F_i| · freq(v_c, t0) · idf(v_c)
+//
+// where F_i is the field (class) v_c belongs to, |F_i| the number of t0's
+// context nodes in that field, freq the co-occurrence count (the TAT edge
+// weight), and idf the node's inverse-occurrence weight. The 1/|F_i|
+// factor gives every field equal total preference mass so a field with
+// many context nodes (e.g. hundreds of title words) does not drown out a
+// small one (e.g. two conferences). The result is normalized to sum to 1.
+//
+// An isolated node yields a preference of 1 on itself, degrading to the
+// individual random walk.
+func (tg *Graph) ContextPreference(t0 graph.NodeID) map[graph.NodeID]float64 {
+	fieldSize := make(map[int32]int)
+	tg.g.Neighbors(t0, func(v graph.NodeID, _ float64) bool {
+		fieldSize[tg.classes[v]]++
+		return true
+	})
+	pref := make(map[graph.NodeID]float64, len(fieldSize))
+	total := 0.0
+	tg.g.Neighbors(t0, func(v graph.NodeID, w float64) bool {
+		weight := 1 / float64(fieldSize[tg.classes[v]]) * w * tg.IDF(v)
+		if weight > 0 {
+			pref[v] = weight
+			total += weight
+		}
+		return true
+	})
+	if total == 0 {
+		return map[graph.NodeID]float64{t0: 1}
+	}
+	for v := range pref {
+		pref[v] /= total
+	}
+	return pref
+}
+
+// SelfPreference returns the individual-random-walk preference vector:
+// all mass on t0 itself. This is the basic model the paper improves on
+// (§IV-B2) and the ablation baseline in the benchmarks.
+func (tg *Graph) SelfPreference(t0 graph.NodeID) map[graph.NodeID]float64 {
+	return map[graph.NodeID]float64{t0: 1}
+}

@@ -1,0 +1,142 @@
+// Package testcorpus provides a small hand-built bibliographic database
+// with known structure, shared by the test suites of the graph,
+// similarity, closeness and reformulation packages. It plants the
+// paper's motivating pattern: "probabilistic" and "uncertain" never
+// co-occur in a title, but appear in the same conferences and are used
+// by the same authors — so contextual similarity must connect them while
+// plain co-occurrence cannot.
+package testcorpus
+
+import (
+	"fmt"
+
+	"kqr/internal/relstore"
+)
+
+// Paper describes one synthetic paper for the fixture.
+type Paper struct {
+	Title   string
+	Conf    string
+	Authors []string
+}
+
+// BibSchema creates the four-table bibliographic schema used throughout
+// the system: conferences, papers (FK to conferences), authors, and the
+// writes association table (FKs to authors and papers).
+func BibSchema(db *relstore.Database) error {
+	if err := db.CreateTable(relstore.Schema{
+		Name: "conferences",
+		Columns: []relstore.Column{
+			{Name: "cid", Kind: relstore.KindInt},
+			{Name: "name", Kind: relstore.KindString, Text: relstore.TextAtomic},
+		},
+		PrimaryKey: "cid",
+	}); err != nil {
+		return err
+	}
+	if err := db.CreateTable(relstore.Schema{
+		Name: "papers",
+		Columns: []relstore.Column{
+			{Name: "pid", Kind: relstore.KindInt},
+			{Name: "title", Kind: relstore.KindString, Text: relstore.TextSegmented},
+			{Name: "cid", Kind: relstore.KindInt},
+		},
+		PrimaryKey:  "pid",
+		ForeignKeys: []relstore.ForeignKey{{Column: "cid", RefTable: "conferences"}},
+	}); err != nil {
+		return err
+	}
+	if err := db.CreateTable(relstore.Schema{
+		Name: "authors",
+		Columns: []relstore.Column{
+			{Name: "aid", Kind: relstore.KindInt},
+			{Name: "name", Kind: relstore.KindString, Text: relstore.TextAtomic},
+		},
+		PrimaryKey: "aid",
+	}); err != nil {
+		return err
+	}
+	return db.CreateTable(relstore.Schema{
+		Name: "writes",
+		Columns: []relstore.Column{
+			{Name: "aid", Kind: relstore.KindInt},
+			{Name: "pid", Kind: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "authors"},
+			{Column: "pid", RefTable: "papers"},
+		},
+	})
+}
+
+// Load populates a BibSchema database from a paper list, creating
+// conferences and authors on first mention.
+func Load(db *relstore.Database, papers []Paper) error {
+	confIDs := make(map[string]int64)
+	authorIDs := make(map[string]int64)
+	for i, p := range papers {
+		cid, ok := confIDs[p.Conf]
+		if !ok {
+			cid = int64(len(confIDs) + 1)
+			confIDs[p.Conf] = cid
+			if _, err := db.Insert("conferences", relstore.Int(cid), relstore.String(p.Conf)); err != nil {
+				return fmt.Errorf("conference %q: %w", p.Conf, err)
+			}
+		}
+		pid := int64(i + 1)
+		if _, err := db.Insert("papers", relstore.Int(pid), relstore.String(p.Title), relstore.Int(cid)); err != nil {
+			return fmt.Errorf("paper %q: %w", p.Title, err)
+		}
+		for _, a := range p.Authors {
+			aid, ok := authorIDs[a]
+			if !ok {
+				aid = int64(len(authorIDs) + 1)
+				authorIDs[a] = aid
+				if _, err := db.Insert("authors", relstore.Int(aid), relstore.String(a)); err != nil {
+					return fmt.Errorf("author %q: %w", a, err)
+				}
+			}
+			if _, err := db.Insert("writes", relstore.Int(aid), relstore.Int(pid)); err != nil {
+				return fmt.Errorf("writes %q->%q: %w", a, p.Title, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Papers is the standard fixture: two research communities (uncertain
+// data and XML) plus one unrelated community (networks) to verify that
+// similarity does not leak across unconnected regions.
+//
+// Planted facts the tests rely on:
+//   - "probabilistic" and "uncertain" never share a title but share VLDB
+//     and authors Alice Ames / Bob Bell.
+//   - "xml" and "semistructured" never share a title but share ICDE and
+//     author Carol Choi.
+//   - the networks community (conf NETCONF, author Frank Fox) shares no
+//     conference, author, or title word with the database communities.
+var Papers = []Paper{
+	{Title: "probabilistic query evaluation", Conf: "VLDB", Authors: []string{"Alice Ames"}},
+	{Title: "probabilistic data cleaning", Conf: "VLDB", Authors: []string{"Alice Ames", "Bob Bell"}},
+	{Title: "uncertain data management", Conf: "VLDB", Authors: []string{"Bob Bell"}},
+	{Title: "uncertain query answering", Conf: "VLDB", Authors: []string{"Alice Ames"}},
+	{Title: "ranking queries evaluation", Conf: "VLDB", Authors: []string{"Bob Bell", "Dora Diaz"}},
+	{Title: "xml indexing methods", Conf: "ICDE", Authors: []string{"Carol Choi"}},
+	{Title: "semistructured indexing engine", Conf: "ICDE", Authors: []string{"Carol Choi"}},
+	{Title: "xml twig joins", Conf: "ICDE", Authors: []string{"Dora Diaz"}},
+	{Title: "semistructured schema discovery", Conf: "ICDE", Authors: []string{"Evan Earl"}},
+	{Title: "routing protocols analysis", Conf: "NETCONF", Authors: []string{"Frank Fox"}},
+	{Title: "wireless routing simulation", Conf: "NETCONF", Authors: []string{"Frank Fox", "Gina Gray"}},
+}
+
+// New builds the standard fixture database.
+func New() (*relstore.Database, error) {
+	db := relstore.NewDatabase()
+	if err := BibSchema(db); err != nil {
+		return nil, err
+	}
+	if err := Load(db, Papers); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,200 @@
+package textindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DocID identifies an indexed document. In this system a document is one
+// tuple, so DocID carries the table name and row index, mirroring
+// relstore.TupleID without importing it (the index is usable standalone).
+type DocID struct {
+	Table string
+	Row   int
+}
+
+// String renders the id as table[row].
+func (d DocID) String() string { return fmt.Sprintf("%s[%d]", d.Table, d.Row) }
+
+// Posting records one document that contains a term in one field,
+// together with the within-document term frequency.
+type Posting struct {
+	Doc DocID
+	// TF is the number of occurrences of the term in the document field.
+	TF int
+}
+
+// fieldTerm is the posting-list key: a term scoped to a field. The paper
+// labels term nodes with field identifiers — "words from conference
+// names are distinguished from words from paper titles".
+type fieldTerm struct {
+	Field string
+	Term  string
+}
+
+// Index is an in-memory inverted index over (field, term) pairs.
+// Documents are added once; the index is then read-only and safe for
+// concurrent readers.
+type Index struct {
+	postings map[fieldTerm][]Posting
+	// docCount counts distinct documents per field, the N in idf.
+	docCount map[string]int
+	// seenDoc dedupes docCount increments.
+	seenDoc map[string]map[DocID]bool
+	// fields in first-seen order, for deterministic iteration.
+	fields []string
+	tok    *Tokenizer
+}
+
+// NewIndex returns an empty index using the given tokenizer for
+// segmented fields. A nil tokenizer gets the default.
+func NewIndex(tok *Tokenizer) *Index {
+	if tok == nil {
+		tok = NewTokenizer()
+	}
+	return &Index{
+		postings: make(map[fieldTerm][]Posting),
+		docCount: make(map[string]int),
+		seenDoc:  make(map[string]map[DocID]bool),
+		tok:      tok,
+	}
+}
+
+// Tokenizer returns the tokenizer the index segments text with.
+func (ix *Index) Tokenizer() *Tokenizer { return ix.tok }
+
+// AddText tokenizes the text and indexes each token under the field.
+// It returns the distinct terms that were indexed.
+func (ix *Index) AddText(doc DocID, field, text string) []string {
+	toks := ix.tok.Tokenize(text)
+	if len(toks) == 0 {
+		return nil
+	}
+	counts := make(map[string]int, len(toks))
+	order := make([]string, 0, len(toks))
+	for _, w := range toks {
+		if counts[w] == 0 {
+			order = append(order, w)
+		}
+		counts[w]++
+	}
+	for _, w := range order {
+		ix.addPosting(doc, field, w, counts[w])
+	}
+	return order
+}
+
+// AddAtomic indexes the whole (normalized) value as a single term under
+// the field, for values like author names that must not be segmented.
+// It returns the indexed term, or "" if the value normalizes to nothing.
+func (ix *Index) AddAtomic(doc DocID, field, value string) string {
+	v := Normalize(value)
+	if v == "" {
+		return ""
+	}
+	ix.addPosting(doc, field, v, 1)
+	return v
+}
+
+func (ix *Index) addPosting(doc DocID, field, term string, tf int) {
+	key := fieldTerm{Field: field, Term: term}
+	ix.postings[key] = append(ix.postings[key], Posting{Doc: doc, TF: tf})
+	seen := ix.seenDoc[field]
+	if seen == nil {
+		seen = make(map[DocID]bool)
+		ix.seenDoc[field] = seen
+		ix.fields = append(ix.fields, field)
+	}
+	if !seen[doc] {
+		seen[doc] = true
+		ix.docCount[field]++
+	}
+}
+
+// Postings returns the posting list for a term in a field, in insertion
+// order. The returned slice is owned by the index; do not mutate it.
+func (ix *Index) Postings(field, term string) []Posting {
+	return ix.postings[fieldTerm{Field: field, Term: term}]
+}
+
+// DF returns the document frequency of a term within a field: the number
+// of documents whose field contains the term.
+func (ix *Index) DF(field, term string) int {
+	return len(ix.postings[fieldTerm{Field: field, Term: term}])
+}
+
+// DocCount returns the number of distinct documents indexed under the
+// field.
+func (ix *Index) DocCount(field string) int { return ix.docCount[field] }
+
+// IDF returns the smoothed inverse document frequency of a term in a
+// field: ln(1 + N/df). Terms absent from the field get the maximum
+// ln(1 + N), so unseen terms are treated as maximally specific.
+func (ix *Index) IDF(field, term string) float64 {
+	n := float64(ix.docCount[field])
+	df := float64(ix.DF(field, term))
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + n/df)
+}
+
+// Fields returns the indexed field names in first-seen order.
+func (ix *Index) Fields() []string {
+	out := make([]string, len(ix.fields))
+	copy(out, ix.fields)
+	return out
+}
+
+// TermCount returns the number of distinct (field, term) pairs indexed.
+func (ix *Index) TermCount() int { return len(ix.postings) }
+
+// Lookup finds the posting lists for a term across all fields, returned
+// as field → postings. A term present in several fields (e.g. "data" in
+// both titles and conference names) yields several entries.
+func (ix *Index) Lookup(term string) map[string][]Posting {
+	out := make(map[string][]Posting)
+	for _, f := range ix.fields {
+		if p := ix.postings[fieldTerm{Field: f, Term: term}]; len(p) > 0 {
+			out[f] = p
+		}
+	}
+	return out
+}
+
+// ScoredDoc is a document with a relevance score.
+type ScoredDoc struct {
+	Doc   DocID
+	Score float64
+}
+
+// SearchField ranks the documents of one field by TF-IDF against the
+// query terms and returns the top k (all matches if k <= 0). Ties break
+// by document id for determinism.
+func (ix *Index) SearchField(field string, terms []string, k int) []ScoredDoc {
+	scores := make(map[DocID]float64)
+	for _, term := range terms {
+		idf := ix.IDF(field, term)
+		for _, p := range ix.Postings(field, term) {
+			scores[p.Doc] += (1 + math.Log(float64(p.TF))) * idf
+		}
+	}
+	out := make([]ScoredDoc, 0, len(scores))
+	for d, s := range scores {
+		out = append(out, ScoredDoc{Doc: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Doc.Table != out[j].Doc.Table {
+			return out[i].Doc.Table < out[j].Doc.Table
+		}
+		return out[i].Doc.Row < out[j].Doc.Row
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

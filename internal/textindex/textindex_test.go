@@ -1,0 +1,255 @@
+package textindex
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tok := NewTokenizer()
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Probabilistic Query Answering", []string{"probabilistic", "query", "answering"}},
+		{"XML and the semi-structured data", []string{"xml", "semi", "structured", "data"}},
+		{"top-k queries over uncertain data", []string{"top", "queries", "uncertain", "data"}},
+		{"", nil},
+		{"a of the", []string{}},
+		{"  spaces\t\nand, punctuation!! ", []string{"spaces", "punctuation"}},
+		{"R2D2 unit 42", []string{"r2d2", "unit", "42"}},
+	}
+	for _, c := range cases {
+		got := tok.Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizerOptions(t *testing.T) {
+	tok := NewTokenizer(WithStopwords([]string{"data"}), WithMinTokenLength(4))
+	got := tok.Tokenize("big data mining xml")
+	want := []string{"mining"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  Christian   S.  Jensen "); got != "christian s. jensen" {
+		t.Fatalf("Normalize = %q", got)
+	}
+	if got := Normalize(""); got != "" {
+		t.Fatalf("Normalize(empty) = %q", got)
+	}
+}
+
+func newTestIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := NewIndex(nil)
+	docs := []struct {
+		id    DocID
+		field string
+		text  string
+	}{
+		{DocID{"papers", 0}, "title", "probabilistic query answering"},
+		{DocID{"papers", 1}, "title", "uncertain data management and query processing"},
+		{DocID{"papers", 2}, "title", "xml query processing"},
+		{DocID{"confs", 0}, "name", "very large data bases"},
+	}
+	for _, d := range docs {
+		ix.AddText(d.id, d.field, d.text)
+	}
+	ix.AddAtomic(DocID{"authors", 0}, "author", "  Jiawei  Han ")
+	return ix
+}
+
+func TestPostingsAndDF(t *testing.T) {
+	ix := newTestIndex(t)
+	if df := ix.DF("title", "query"); df != 3 {
+		t.Fatalf("DF(title, query) = %d, want 3", df)
+	}
+	if df := ix.DF("title", "zebra"); df != 0 {
+		t.Fatalf("DF(title, zebra) = %d, want 0", df)
+	}
+	// Field scoping: "data" appears in both title and name fields.
+	if df := ix.DF("title", "data"); df != 1 {
+		t.Fatalf("DF(title, data) = %d, want 1", df)
+	}
+	if df := ix.DF("name", "data"); df != 1 {
+		t.Fatalf("DF(name, data) = %d, want 1", df)
+	}
+	got := ix.Lookup("data")
+	if len(got) != 2 {
+		t.Fatalf("Lookup(data) spans %d fields, want 2: %v", len(got), got)
+	}
+}
+
+func TestTermFrequency(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.AddText(DocID{"d", 0}, "f", "query query query optimization")
+	ps := ix.Postings("f", "query")
+	if len(ps) != 1 || ps[0].TF != 3 {
+		t.Fatalf("Postings = %+v, want one posting with TF=3", ps)
+	}
+}
+
+func TestAtomicIndexing(t *testing.T) {
+	ix := newTestIndex(t)
+	ps := ix.Postings("author", "jiawei han")
+	if len(ps) != 1 || ps[0].Doc != (DocID{"authors", 0}) {
+		t.Fatalf("atomic postings = %+v", ps)
+	}
+	// The name must not be segmented.
+	if ix.DF("author", "jiawei") != 0 {
+		t.Fatal("atomic value was segmented")
+	}
+	if got := NewIndex(nil).AddAtomic(DocID{}, "f", "   "); got != "" {
+		t.Fatalf("AddAtomic(blank) = %q, want empty", got)
+	}
+}
+
+func TestDocCountAndIDF(t *testing.T) {
+	ix := newTestIndex(t)
+	if n := ix.DocCount("title"); n != 3 {
+		t.Fatalf("DocCount(title) = %d, want 3", n)
+	}
+	rare := ix.IDF("title", "xml")     // df=1
+	common := ix.IDF("title", "query") // df=3
+	if rare <= common {
+		t.Fatalf("IDF(xml)=%v should exceed IDF(query)=%v", rare, common)
+	}
+	missing := ix.IDF("title", "zebra")
+	if missing < rare {
+		t.Fatalf("IDF(missing)=%v should be >= IDF(rare)=%v", missing, rare)
+	}
+	if want := math.Log(1 + 3.0); math.Abs(missing-want) > 1e-12 {
+		t.Fatalf("IDF(missing) = %v, want %v", missing, want)
+	}
+}
+
+func TestFieldsOrder(t *testing.T) {
+	ix := newTestIndex(t)
+	got := ix.Fields()
+	want := []string{"title", "name", "author"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fields = %v, want %v", got, want)
+	}
+}
+
+func TestSearchField(t *testing.T) {
+	ix := newTestIndex(t)
+	res := ix.SearchField("title", []string{"xml", "query"}, 10)
+	if len(res) != 3 {
+		t.Fatalf("SearchField returned %d docs, want 3", len(res))
+	}
+	// The xml paper matches both terms, and xml is rarer: it must rank first.
+	if res[0].Doc != (DocID{"papers", 2}) {
+		t.Fatalf("top doc = %v, want papers[2]", res[0].Doc)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	if got := ix.SearchField("title", []string{"query"}, 2); len(got) != 2 {
+		t.Fatalf("k truncation failed: got %d", len(got))
+	}
+	if got := ix.SearchField("title", []string{"zebra"}, 5); len(got) != 0 {
+		t.Fatalf("miss returned %v", got)
+	}
+}
+
+func TestAddTextReturnsDistinctTerms(t *testing.T) {
+	ix := NewIndex(nil)
+	got := ix.AddText(DocID{"d", 0}, "f", "query processing of query plans")
+	want := []string{"query", "processing", "plans"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AddText = %v, want %v", got, want)
+	}
+}
+
+// Property: for any document set, DF(field, term) equals the number of
+// postings, and DocCount(field) never exceeds the number of added docs.
+func TestDFMatchesPostingsProperty(t *testing.T) {
+	f := func(texts []string) bool {
+		ix := NewIndex(nil)
+		terms := make(map[string]bool)
+		for i, txt := range texts {
+			for _, w := range ix.AddText(DocID{"d", i}, "f", txt) {
+				terms[w] = true
+			}
+		}
+		for w := range terms {
+			if ix.DF("f", w) != len(ix.Postings("f", w)) {
+				return false
+			}
+			if ix.DF("f", w) < 1 || ix.DF("f", w) > len(texts) {
+				return false
+			}
+		}
+		return ix.DocCount("f") <= len(texts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenization output only contains lowercase tokens of the
+// minimum length, never stopwords.
+func TestTokenizeInvariantsProperty(t *testing.T) {
+	tok := NewTokenizer()
+	f := func(s string) bool {
+		for _, w := range tok.Tokenize(s) {
+			if len([]rune(w)) < 2 {
+				return false
+			}
+			if w != strings.ToLower(w) {
+				return false
+			}
+			if defaultStopwords[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPluralFolding(t *testing.T) {
+	tok := NewTokenizer(WithPluralFolding())
+	cases := map[string]string{
+		"queries":  "query",
+		"rules":    "rule",
+		"indexes":  "index",
+		"churches": "church",
+		"classes":  "class",  // "sses" strips to "class"
+		"class":    "class",  // ss untouched
+		"status":   "status", // us untouched
+		// "analysis" set below: ends in "is", untouched.
+		"cats":     "cat",
+		"dogs":     "dog",
+	}
+	// "analysis" ends in "is": untouched.
+	cases["analysis"] = "analysis"
+	for in, want := range cases {
+		got := tok.Tokenize(in)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("Tokenize(%q) = %v, want [%s]", in, got, want)
+		}
+	}
+	// Off by default.
+	plain := NewTokenizer()
+	if got := plain.Tokenize("queries"); got[0] != "queries" {
+		t.Fatalf("default tokenizer folded: %v", got)
+	}
+}

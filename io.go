@@ -1,0 +1,64 @@
+package kqr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kqr/internal/relstore"
+)
+
+// InsertTSV bulk-loads tab-separated rows into a table. Each line holds
+// one row with values in the table's column order; TypeInt columns parse
+// as base-10 integers. Empty lines are skipped. It returns the number of
+// rows inserted; on error it reports the offending line number and stops
+// (rows before the error remain inserted).
+//
+// This pairs with `kqr-dbgen -dump <table>` so corpora can be exported,
+// edited and re-imported, or real data can be loaded from TSV exports.
+func (d *Dataset) InsertTSV(table string, r io.Reader) (int, error) {
+	tab, err := d.db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	schema := tab.Schema()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	inserted := 0
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		if len(cells) != len(schema.Columns) {
+			return inserted, fmt.Errorf("kqr: %s line %d: %d cells, table %q has %d columns",
+				table, lineNo, len(cells), table, len(schema.Columns))
+		}
+		values := make([]any, len(cells))
+		for i, cell := range cells {
+			if schema.Columns[i].Kind == relstore.KindInt {
+				n, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+				if err != nil {
+					return inserted, fmt.Errorf("kqr: %s line %d column %q: %w",
+						table, lineNo, schema.Columns[i].Name, err)
+				}
+				values[i] = n
+			} else {
+				values[i] = cell
+			}
+		}
+		if err := d.Insert(table, values...); err != nil {
+			return inserted, fmt.Errorf("kqr: %s line %d: %w", table, lineNo, err)
+		}
+		inserted++
+	}
+	if err := scanner.Err(); err != nil {
+		return inserted, fmt.Errorf("kqr: reading %s: %w", table, err)
+	}
+	return inserted, nil
+}

@@ -1,0 +1,160 @@
+// Package kqr implements keyword query reformulation on structured data,
+// after Yao, Cui, Hua and Huang, "Keyword Query Reformulation on
+// Structured Data" (ICDE 2012).
+//
+// Given relational data — tables connected by foreign keys, with textual
+// attributes — the library suggests substitutive keyword queries for a
+// user's input query by exploiting the structural semantics of the data
+// itself, with no query log required:
+//
+//   - offline, it models the data as a Term Augmented Tuple graph and
+//     extracts term similarity (contextual random walk with restart) and
+//     term closeness (bounded multi-path distance);
+//   - online, it assembles a hidden Markov model per query — emissions
+//     from similarity, transitions from closeness — and decodes the
+//     top-k hidden term sequences as reformulated queries.
+//
+// Quick start:
+//
+//	ds, _ := kqr.NewDataset(
+//	    kqr.Table{Name: "papers", Columns: []kqr.Column{
+//	        {Name: "pid", Type: kqr.TypeInt},
+//	        {Name: "title", Type: kqr.TypeString, Text: kqr.TextSegmented},
+//	    }, PrimaryKey: "pid"},
+//	)
+//	ds.Insert("papers", int64(1), "probabilistic query evaluation")
+//	eng, _ := kqr.Open(ds, kqr.Options{})
+//	suggestions, _ := eng.ReformulateQuery("uncertain data", 5)
+package kqr
+
+import (
+	"fmt"
+
+	"kqr/internal/relstore"
+)
+
+// ColumnType is the value type of a column.
+type ColumnType int
+
+const (
+	// TypeString holds text.
+	TypeString ColumnType = iota
+	// TypeInt holds 64-bit integers.
+	TypeInt
+)
+
+// TextMode controls how a column's text becomes query terms.
+type TextMode int
+
+const (
+	// TextNone columns are never searchable (keys, codes).
+	TextNone TextMode = iota
+	// TextSegmented columns are tokenized into individual terms (titles,
+	// descriptions).
+	TextSegmented
+	// TextAtomic columns are one term per value (names that must not be
+	// split).
+	TextAtomic
+)
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Type ColumnType
+	Text TextMode
+}
+
+// ForeignKey declares that Column references RefTable's primary key.
+type ForeignKey struct {
+	Column   string
+	RefTable string
+}
+
+// Table describes one relation.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  string
+	ForeignKeys []ForeignKey
+}
+
+// Dataset is loaded structured data, ready to open an Engine on. Once
+// an Engine has been opened over it the dataset is frozen: further
+// inserts fail rather than mutating state shared with concurrent
+// readers. To add data, build a new Dataset (or reload) and Open again.
+type Dataset struct {
+	db     *relstore.Database
+	frozen bool
+}
+
+// NewDataset creates an empty dataset with the given tables. Tables may
+// reference each other; referenced tables must appear in the same call.
+func NewDataset(tables ...Table) (*Dataset, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("kqr: dataset needs at least one table")
+	}
+	db := relstore.NewDatabase()
+	for _, t := range tables {
+		s := relstore.Schema{Name: t.Name, PrimaryKey: t.PrimaryKey}
+		for _, c := range t.Columns {
+			kind := relstore.KindString
+			if c.Type == TypeInt {
+				kind = relstore.KindInt
+			}
+			text := relstore.TextNone
+			switch c.Text {
+			case TextSegmented:
+				text = relstore.TextSegmented
+			case TextAtomic:
+				text = relstore.TextAtomic
+			}
+			s.Columns = append(s.Columns, relstore.Column{Name: c.Name, Kind: kind, Text: text})
+		}
+		for _, fk := range t.ForeignKeys {
+			s.ForeignKeys = append(s.ForeignKeys, relstore.ForeignKey{Column: fk.Column, RefTable: fk.RefTable})
+		}
+		if err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{db: db}, nil
+}
+
+// WrapDatabase adopts an already-built internal database. It exists for
+// the in-module generators and tools (the parameter type is internal, so
+// external importers cannot call it — use NewDataset + Insert instead).
+func WrapDatabase(db *relstore.Database) *Dataset {
+	return &Dataset{db: db}
+}
+
+// Insert adds one row. Values must match the table's column types:
+// string for TypeString; int64, int or int32 for TypeInt. Foreign keys
+// are checked: referenced rows must already exist.
+func (d *Dataset) Insert(table string, values ...any) error {
+	if d.frozen {
+		return fmt.Errorf("kqr: dataset is frozen (an Engine was opened over it); build a new dataset to add rows")
+	}
+	vals := make([]relstore.Value, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			vals[i] = relstore.String(x)
+		case int64:
+			vals[i] = relstore.Int(x)
+		case int:
+			vals[i] = relstore.Int(int64(x))
+		case int32:
+			vals[i] = relstore.Int(int64(x))
+		default:
+			return fmt.Errorf("kqr: unsupported value type %T at position %d", v, i)
+		}
+	}
+	_, err := d.db.Insert(table, vals...)
+	return err
+}
+
+// Stats returns a human-readable size summary.
+func (d *Dataset) Stats() string { return d.db.Stats().String() }
+
+// CheckIntegrity verifies every foreign key resolves.
+func (d *Dataset) CheckIntegrity() error { return d.db.CheckIntegrity() }

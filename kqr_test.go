@@ -1,0 +1,350 @@
+package kqr_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+// bibliographyDataset hand-builds the motivating corpus through the
+// public API only.
+func bibliographyDataset(t *testing.T) *kqr.Dataset {
+	t.Helper()
+	ds, err := kqr.NewDataset(
+		kqr.Table{
+			Name: "conferences",
+			Columns: []kqr.Column{
+				{Name: "cid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+			},
+			PrimaryKey: "cid",
+		},
+		kqr.Table{
+			Name: "papers",
+			Columns: []kqr.Column{
+				{Name: "pid", Type: kqr.TypeInt},
+				{Name: "title", Type: kqr.TypeString, Text: kqr.TextSegmented},
+				{Name: "cid", Type: kqr.TypeInt},
+			},
+			PrimaryKey:  "pid",
+			ForeignKeys: []kqr.ForeignKey{{Column: "cid", RefTable: "conferences"}},
+		},
+		kqr.Table{
+			Name: "authors",
+			Columns: []kqr.Column{
+				{Name: "aid", Type: kqr.TypeInt},
+				{Name: "name", Type: kqr.TypeString, Text: kqr.TextAtomic},
+			},
+			PrimaryKey: "aid",
+		},
+		kqr.Table{
+			Name: "writes",
+			Columns: []kqr.Column{
+				{Name: "aid", Type: kqr.TypeInt},
+				{Name: "pid", Type: kqr.TypeInt},
+			},
+			ForeignKeys: []kqr.ForeignKey{
+				{Column: "aid", RefTable: "authors"},
+				{Column: "pid", RefTable: "papers"},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(ds.Insert("conferences", 1, "VLDB"))
+	must(ds.Insert("conferences", 2, "ICDE"))
+	must(ds.Insert("authors", 1, "Alice Ames"))
+	must(ds.Insert("authors", 2, "Bob Bell"))
+	titles := []struct {
+		pid   int
+		title string
+		cid   int
+		aids  []int
+	}{
+		{1, "probabilistic query evaluation", 1, []int{1}},
+		{2, "probabilistic data cleaning", 1, []int{1, 2}},
+		{3, "uncertain data management", 1, []int{2}},
+		{4, "uncertain query answering", 1, []int{1}},
+		{5, "xml twig indexing", 2, []int{2}},
+	}
+	for _, p := range titles {
+		must(ds.Insert("papers", p.pid, p.title, p.cid))
+		for _, a := range p.aids {
+			must(ds.Insert("writes", a, p.pid))
+		}
+	}
+	return ds
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := kqr.NewDataset(); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := kqr.NewDataset(kqr.Table{Name: ""}); err == nil {
+		t.Fatal("bad table accepted")
+	}
+}
+
+func TestInsertTypeHandling(t *testing.T) {
+	ds, err := kqr.NewDataset(kqr.Table{
+		Name: "t",
+		Columns: []kqr.Column{
+			{Name: "k", Type: kqr.TypeInt},
+			{Name: "s", Type: kqr.TypeString, Text: kqr.TextSegmented},
+		},
+		PrimaryKey: "k",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Insert("t", 1, "one"); err != nil {
+		t.Fatalf("int: %v", err)
+	}
+	if err := ds.Insert("t", int64(2), "two"); err != nil {
+		t.Fatalf("int64: %v", err)
+	}
+	if err := ds.Insert("t", int32(3), "three"); err != nil {
+		t.Fatalf("int32: %v", err)
+	}
+	if err := ds.Insert("t", 4.5, "float"); err == nil {
+		t.Fatal("float accepted")
+	}
+	if err := ds.Insert("t", "x", "kind mismatch"); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if err := ds.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if s := ds.Stats(); !strings.Contains(s, "t=3") {
+		t.Fatalf("Stats = %q", s)
+	}
+}
+
+func TestOpenAndReformulate(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := eng.Reformulate([]string{"uncertain", "data"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	found := false
+	for _, s := range sugs {
+		if strings.Contains(s.String(), "probabilistic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted synonym missing from %v", sugs)
+	}
+	if _, err := kqr.Open(nil, kqr.Options{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := kqr.Open(ds, kqr.Options{Similarity: kqr.SimilarityMode(9)}); err == nil {
+		t.Fatal("bad similarity mode accepted")
+	}
+}
+
+func TestReformulateQueryParsing(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := eng.ReformulateQuery(`"Alice Ames" probabilistic`, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions for quoted query")
+	}
+	if _, err := eng.ReformulateQuery("", 5); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`a b c`, []string{"a", "b", "c"}},
+		{`"x y" z`, []string{"x y", "z"}},
+		{`  spaced   out  `, []string{"spaced", "out"}},
+		{`z "tail quote"`, []string{"z", "tail quote"}},
+		{`"only"`, []string{"only"}},
+	}
+	for _, c := range cases {
+		got, err := kqr.ParseQuery(c.in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseQuery(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := kqr.ParseQuery(`"unbalanced`); err == nil {
+		t.Fatal("unbalanced quote accepted")
+	}
+	if _, err := kqr.ParseQuery("   "); err == nil {
+		t.Fatal("blank query accepted")
+	}
+}
+
+func TestSuggestionString(t *testing.T) {
+	s := kqr.Suggestion{Terms: []string{"alice ames", "probabilistic"}}
+	if got := s.String(); got != `"alice ames" probabilistic` {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSimilarAndCloseTerms(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, err := eng.SimilarTerms("uncertain", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) == 0 {
+		t.Fatal("no similar terms")
+	}
+	for _, rt := range sims {
+		if rt.Field != "papers.title" {
+			t.Fatalf("similar term crossed field: %+v", rt)
+		}
+	}
+	clos, err := eng.CloseTerms("probabilistic", 5, "conferences.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clos) == 0 || clos[0].Term != "vldb" {
+		t.Fatalf("close conferences = %+v, want vldb first", clos)
+	}
+	if _, err := eng.SimilarTerms("missingterm", 5); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, total, err := eng.Search([]string{"uncertain", "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || len(results) == 0 {
+		t.Fatal("no search results")
+	}
+	if results[0].Cost != 0 {
+		t.Fatalf("best result cost %d, want 0", results[0].Cost)
+	}
+	if len(results[0].Tuples) == 0 || !strings.HasPrefix(results[0].Tuples[0], "papers:") {
+		t.Fatalf("rendered tuples = %v", results[0].Tuples)
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.GraphStats()
+	if !strings.Contains(s, "nodes") || !strings.Contains(s, "edges") {
+		t.Fatalf("GraphStats = %q", s)
+	}
+}
+
+func TestSimilarityModes(t *testing.T) {
+	ds := bibliographyDataset(t)
+	for _, mode := range []kqr.SimilarityMode{kqr.ContextualWalk, kqr.IndividualWalk, kqr.Cooccurrence} {
+		eng, err := kqr.Open(ds, kqr.Options{Similarity: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if _, err := eng.Reformulate([]string{"uncertain"}, 3); err != nil {
+			t.Fatalf("%v reformulate: %v", mode, err)
+		}
+	}
+}
+
+func TestRankBasedPublicAPI(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := eng.ReformulateRankBased([]string{"uncertain", "data"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("rank-based returned nothing")
+	}
+}
+
+func TestSyntheticCorpusEndToEnd(t *testing.T) {
+	c, err := synthetic.Bibliography(synthetic.Config{Seed: 3, Topics: 4, Confs: 8, Authors: 80, Papers: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.AuthorNames) != 80 || len(c.ConfNames) != 8 {
+		t.Fatalf("entity lists: %d authors, %d confs", len(c.AuthorNames), len(c.ConfNames))
+	}
+	if got := len(c.Topics()); got != 8 { // 4 topics × 2 subtopic communities
+		t.Fatalf("Topics = %d, want 8", got)
+	}
+	terms := c.TopicTerms(0)
+	if len(terms) < 4 {
+		t.Fatalf("TopicTerms(0) = %v", terms)
+	}
+	if c.TopicTerms(99) != nil {
+		t.Fatal("out-of-range topic returned terms")
+	}
+	if !c.Related("probabilistic", "uncertain") {
+		t.Fatal("ground truth lost through the public wrapper")
+	}
+	eng, err := kqr.Open(c.Dataset, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := eng.Reformulate([]string{terms[0]}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions on synthetic corpus")
+	}
+	// The planted partner must surface among suggestions for a synonym
+	// member.
+	partnerSeen := false
+	for _, s := range sugs {
+		if c.Related(terms[0], s.Terms[0]) {
+			partnerSeen = true
+		}
+	}
+	if !partnerSeen {
+		t.Fatalf("no related suggestion for %q: %v", terms[0], sugs)
+	}
+}

@@ -1,0 +1,135 @@
+package kqr
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"kqr/internal/graph"
+)
+
+// snapshotter is satisfied by the similarity extractors that support
+// offline-relation persistence (the random-walk and co-occurrence
+// providers; any custom provider without it simply cannot be saved).
+type snapshotter interface {
+	Snapshot() map[graph.NodeID][]graph.Scored
+	Restore(map[graph.NodeID][]graph.Scored)
+}
+
+// relationsFile is the on-disk format of the precomputed term relations
+// (gob-encoded). Fingerprint ties a file to the graph it was computed
+// over: node ids are only meaningful for an identically built graph.
+type relationsFile struct {
+	Fingerprint string
+	Similar     map[graph.NodeID][]graph.Scored
+	Closeness   map[graph.NodeID]map[graph.NodeID]float64
+}
+
+// fingerprint identifies the built graph: structure plus similarity
+// mode, so relations saved under one mode are not restored under
+// another.
+func (e *Engine) fingerprint() string {
+	return fmt.Sprintf("kqr/v1 nodes=%d edges=%d classes=%s mode=%d",
+		e.tg.NumNodes(), e.tg.CSR().NumEdges(),
+		strings.Join(e.tg.Classes(), ","), int(e.opts.Similarity))
+}
+
+// PrecomputeTerms runs the offline extraction (similarity + closeness)
+// for the given terms, warming the caches so subsequent queries over
+// those terms are pure lookups. Terms are processed concurrently — the
+// extractors are safe for concurrent use and the work is embarrassingly
+// parallel. This is the paper's offline stage made explicit; combine
+// with SaveRelations to persist it.
+func (e *Engine) PrecomputeTerms(terms []string) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(terms) {
+		workers = len(terms)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for term := range jobs {
+				node, err := e.core.ResolveTerm(term)
+				if err != nil {
+					record(err)
+					continue
+				}
+				// Closeness is also needed from every candidate (HMM
+				// transitions start at candidate nodes).
+				cands, err := e.sim.SimilarNodes(node, 0)
+				if err != nil {
+					record(err)
+					continue
+				}
+				e.clos.From(node)
+				for _, sn := range cands {
+					e.clos.From(sn.Node)
+				}
+			}
+		}()
+	}
+	for _, term := range terms {
+		jobs <- term
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// SaveRelations writes every precomputed term relation (similar-term
+// lists and closeness vectors) to w. Load them into an engine opened
+// over the same dataset with LoadRelations to skip recomputation.
+func (e *Engine) SaveRelations(w io.Writer) error {
+	snap, ok := e.sim.(snapshotter)
+	if !ok {
+		return fmt.Errorf("kqr: similarity provider %T does not support persistence", e.sim)
+	}
+	file := relationsFile{
+		Fingerprint: e.fingerprint(),
+		Similar:     snap.Snapshot(),
+		Closeness:   e.clos.Snapshot(),
+	}
+	if err := gob.NewEncoder(w).Encode(&file); err != nil {
+		return fmt.Errorf("kqr: encoding relations: %w", err)
+	}
+	return nil
+}
+
+// LoadRelations restores relations previously written by SaveRelations.
+// It fails if the engine's graph or similarity mode differs from the
+// one the relations were computed over.
+func (e *Engine) LoadRelations(r io.Reader) error {
+	snap, ok := e.sim.(snapshotter)
+	if !ok {
+		return fmt.Errorf("kqr: similarity provider %T does not support persistence", e.sim)
+	}
+	var file relationsFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("kqr: decoding relations: %w", err)
+	}
+	if file.Fingerprint != e.fingerprint() {
+		return fmt.Errorf("kqr: relations were computed over a different graph (%q vs %q)",
+			file.Fingerprint, e.fingerprint())
+	}
+	snap.Restore(file.Similar)
+	e.clos.Restore(file.Closeness)
+	return nil
+}

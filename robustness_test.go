@@ -1,0 +1,97 @@
+package kqr_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+// Property: over random small corpora and random queries drawn from the
+// corpus vocabulary, the whole pipeline never errors unexpectedly, never
+// returns malformed suggestions, and stays deterministic. This is the
+// panic/regression safety net for the composed system.
+func TestPipelineRobustnessProperty(t *testing.T) {
+	f := func(seed int64, queryPick uint8, k uint8) bool {
+		corpus, err := synthetic.Bibliography(synthetic.Config{
+			Seed:    seed%1000 + 1,
+			Topics:  4,
+			Confs:   8,
+			Authors: 40,
+			Papers:  150,
+		})
+		if err != nil {
+			return false
+		}
+		eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+		if err != nil {
+			return false
+		}
+		// Build a random 1–3 term query from a random topic.
+		rng := rand.New(rand.NewSource(int64(queryPick) + seed))
+		topics := len(corpus.Topics())
+		terms := corpus.TopicTerms(rng.Intn(topics))
+		if len(terms) < 3 {
+			return true // degenerate corpus sample; nothing to probe
+		}
+		qLen := 1 + rng.Intn(3)
+		query := make([]string, 0, qLen)
+		for len(query) < qLen {
+			query = append(query, terms[rng.Intn(len(terms))])
+		}
+		kk := int(k%10) + 1
+
+		sugs, err := eng.Reformulate(query, kk)
+		if err != nil {
+			// Unresolvable terms are a legitimate error; anything that
+			// resolves must decode cleanly.
+			for _, term := range query {
+				if _, serr := eng.SimilarTerms(term, 1); serr != nil {
+					return true // term missing from this corpus sample
+				}
+			}
+			return false
+		}
+		if len(sugs) > kk {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, s := range sugs {
+			if len(s.Terms) == 0 || s.Score < 0 {
+				return false
+			}
+			for _, term := range s.Terms {
+				if term == "" {
+					return false
+				}
+			}
+			if i > 0 && s.Score > sugs[i-1].Score+1e-12 {
+				return false
+			}
+			if seen[s.String()] {
+				return false
+			}
+			seen[s.String()] = true
+		}
+		// Determinism.
+		again, err := eng.Reformulate(query, kk)
+		if err != nil || len(again) != len(sugs) {
+			return false
+		}
+		for i := range sugs {
+			if sugs[i].String() != again[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package kqr_test
+
+import (
+	"testing"
+	"time"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+// TestScaleCorpus exercises the full pipeline on a corpus an order of
+// magnitude larger than the default experiments use: 20k papers, 4k
+// authors. It is skipped under -short.
+func TestScaleCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	start := time.Now()
+	corpus, err := synthetic.Bibliography(synthetic.Config{
+		Seed: 99, Topics: 8, Confs: 64, Authors: 4000, Papers: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genTime := time.Since(start)
+
+	start = time.Now()
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	// First reformulation pays the offline extraction for its terms;
+	// the second must be a cache hit and interactive.
+	terms := corpus.TopicTerms(0)
+	if len(terms) < 3 {
+		t.Fatal("topic too small")
+	}
+	query := []string{terms[0], terms[2]}
+	start = time.Now()
+	first, err := eng.Reformulate(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := time.Since(start)
+
+	start = time.Now()
+	second, err := eng.Reformulate(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTime := time.Since(start)
+
+	if len(first) == 0 || len(second) == 0 {
+		t.Fatal("no suggestions at scale")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("non-deterministic suggestion count: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].String() != second[i].String() {
+			t.Fatalf("non-deterministic suggestion %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+	// Generous budgets: this must merely stay usable, not win races.
+	if buildTime > 30*time.Second {
+		t.Fatalf("graph build took %v", buildTime)
+	}
+	if warmTime > 2*time.Second {
+		t.Fatalf("warm reformulation took %v", warmTime)
+	}
+	t.Logf("20k-paper corpus: gen=%v build=%v cold=%v warm=%v graph=%s",
+		genTime, buildTime, coldTime, warmTime, eng.GraphStats())
+}

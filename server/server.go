@@ -1,0 +1,299 @@
+// Package server exposes a kqr.Engine over HTTP as a small JSON API —
+// the backend the paper's Figure 6 interface would call ("such query
+// suggestions … in an Ajax or dialogue based query interface", §VI-B).
+//
+// The root path serves a built-in single-page interface reproducing the
+// paper's Figure 6 layout; the JSON endpoints back it (all GET):
+//
+//	/api/reformulate?q=<query>&k=<n>   ranked substitutive queries
+//	/api/search?q=<query>              keyword-search result trees
+//	/api/similar?term=<t>&k=<n>        offline similarity relation
+//	/api/close?term=<t>&k=<n>&field=   offline closeness relation
+//	/api/facets?q=<query>&k=<n>        related terms grouped by field
+//	/api/stats                         dataset and graph statistics
+//
+// Queries use the engine's syntax: whitespace-separated terms, double
+// quotes around multi-word terms.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"kqr"
+)
+
+// Server wraps an engine with HTTP handlers. It is safe for concurrent
+// use (the engine is read-only once opened).
+type Server struct {
+	eng *kqr.Engine
+	// Stats line shown by /api/stats alongside graph stats.
+	datasetStats string
+	mux          *http.ServeMux
+	logger       *log.Logger
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger sets the request logger (default: log.Default()).
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithDatasetStats records a human-readable dataset summary for
+// /api/stats.
+func WithDatasetStats(stats string) Option {
+	return func(s *Server) { s.datasetStats = stats }
+}
+
+// New builds a server around an opened engine.
+func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
+	if eng == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	s := &Server{eng: eng, logger: log.Default()}
+	for _, o := range opts {
+		o(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/reformulate", s.wrap(s.handleReformulate))
+	mux.HandleFunc("GET /api/search", s.wrap(s.handleSearch))
+	mux.HandleFunc("GET /api/similar", s.wrap(s.handleSimilar))
+	mux.HandleFunc("GET /api/close", s.wrap(s.handleClose))
+	mux.HandleFunc("GET /api/facets", s.wrap(s.handleFacets))
+	mux.HandleFunc("GET /api/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /", s.handleUI)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe runs the server on addr with sane timeouts until the
+// listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	s.logger.Printf("kqr server listening on %s", addr)
+	return srv.ListenAndServe()
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// badRequest marks handler errors caused by the request (400 rather
+// than 500).
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+
+// wrap adapts a JSON-producing handler: it encodes the result, maps
+// errors to status codes, and logs one line per request.
+func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		result, err := h(r)
+		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
+		if err != nil {
+			var br badRequest
+			if errors.As(err, &br) {
+				status = http.StatusBadRequest
+			} else {
+				status = http.StatusInternalServerError
+			}
+			w.WriteHeader(status)
+			result = apiError{Error: err.Error()}
+		}
+		if encodeErr := json.NewEncoder(w).Encode(result); encodeErr != nil {
+			s.logger.Printf("%s %s: encode: %v", r.Method, r.URL.Path, encodeErr)
+		}
+		s.logger.Printf("%s %s %d %v", r.Method, r.URL.RequestURI(), status, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// queryParam parses the ?q= query string into terms.
+func queryParam(r *http.Request) ([]string, error) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		return nil, badRequest{fmt.Errorf("missing q parameter")}
+	}
+	terms, err := kqr.ParseQuery(q)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	return terms, nil
+}
+
+// kParam parses ?k= with a default and bounds.
+func kParam(r *http.Request, def, max int) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return def, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 1 {
+		return 0, badRequest{fmt.Errorf("bad k parameter %q", raw)}
+	}
+	if k > max {
+		k = max
+	}
+	return k, nil
+}
+
+// termParam parses ?term=.
+func termParam(r *http.Request) (string, error) {
+	t := strings.TrimSpace(r.URL.Query().Get("term"))
+	if t == "" {
+		return "", badRequest{fmt.Errorf("missing term parameter")}
+	}
+	return t, nil
+}
+
+// reformulateResponse is the /api/reformulate payload.
+type reformulateResponse struct {
+	Query       []string     `json:"query"`
+	Suggestions []suggestion `json:"suggestions"`
+}
+
+type suggestion struct {
+	Terms []string `json:"terms"`
+	Query string   `json:"query"`
+	Score float64  `json:"score"`
+}
+
+func (s *Server) handleReformulate(r *http.Request) (any, error) {
+	terms, err := queryParam(r)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kParam(r, 5, 50)
+	if err != nil {
+		return nil, err
+	}
+	sugs, err := s.eng.Reformulate(terms, k)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	resp := reformulateResponse{Query: terms, Suggestions: make([]suggestion, 0, len(sugs))}
+	for _, sg := range sugs {
+		resp.Suggestions = append(resp.Suggestions, suggestion{
+			Terms: sg.Terms, Query: sg.String(), Score: sg.Score,
+		})
+	}
+	return resp, nil
+}
+
+// searchResponse is the /api/search payload.
+type searchResponse struct {
+	Query   []string           `json:"query"`
+	Total   int                `json:"total"`
+	Results []kqr.SearchResult `json:"results"`
+}
+
+func (s *Server) handleSearch(r *http.Request) (any, error) {
+	terms, err := queryParam(r)
+	if err != nil {
+		return nil, err
+	}
+	results, total, err := s.eng.Search(terms)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if results == nil {
+		results = []kqr.SearchResult{}
+	}
+	return searchResponse{Query: terms, Total: total, Results: results}, nil
+}
+
+// termsResponse is the payload of /api/similar and /api/close.
+type termsResponse struct {
+	Term  string           `json:"term"`
+	Terms []kqr.RankedTerm `json:"terms"`
+}
+
+func (s *Server) handleSimilar(r *http.Request) (any, error) {
+	term, err := termParam(r)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kParam(r, 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	terms, err := s.eng.SimilarTerms(term, k)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if terms == nil {
+		terms = []kqr.RankedTerm{}
+	}
+	return termsResponse{Term: term, Terms: terms}, nil
+}
+
+func (s *Server) handleClose(r *http.Request) (any, error) {
+	term, err := termParam(r)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kParam(r, 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	terms, err := s.eng.CloseTerms(term, k, r.URL.Query().Get("field"))
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if terms == nil {
+		terms = []kqr.RankedTerm{}
+	}
+	return termsResponse{Term: term, Terms: terms}, nil
+}
+
+// facetsResponse is the /api/facets payload.
+type facetsResponse struct {
+	Query  []string    `json:"query"`
+	Facets []kqr.Facet `json:"facets"`
+}
+
+func (s *Server) handleFacets(r *http.Request) (any, error) {
+	terms, err := queryParam(r)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kParam(r, 5, 20)
+	if err != nil {
+		return nil, err
+	}
+	facets, err := s.eng.Facets(terms, k)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if facets == nil {
+		facets = []kqr.Facet{}
+	}
+	return facetsResponse{Query: terms, Facets: facets}, nil
+}
+
+// statsResponse is the /api/stats payload.
+type statsResponse struct {
+	Dataset string `json:"dataset,omitempty"`
+	Graph   string `json:"graph"`
+}
+
+func (s *Server) handleStats(*http.Request) (any, error) {
+	return statsResponse{Dataset: s.datasetStats, Graph: s.eng.GraphStats()}, nil
+}

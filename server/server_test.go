@@ -1,0 +1,302 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: 11, Topics: 4, Confs: 8, Authors: 60, Papers: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng,
+		WithDatasetStats(corpus.Dataset.Stats()),
+		WithLogger(log.New(io.Discard, "", 0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// getJSON fetches a URL and decodes the response into out, returning
+// the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
+
+func TestReformulateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Query       []string `json:"query"`
+		Suggestions []struct {
+			Terms []string `json:"terms"`
+			Query string   `json:"query"`
+			Score float64  `json:"score"`
+		} `json:"suggestions"`
+	}
+	code := getJSON(t, ts.URL+"/api/reformulate?q=probabilistic+ranking&k=5", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Query) != 2 {
+		t.Fatalf("query echoed as %v", resp.Query)
+	}
+	if len(resp.Suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	for i, s := range resp.Suggestions {
+		if s.Query == "" || len(s.Terms) == 0 {
+			t.Fatalf("suggestion %d empty: %+v", i, s)
+		}
+		if i > 0 && s.Score > resp.Suggestions[i-1].Score {
+			t.Fatal("suggestions not sorted")
+		}
+	}
+}
+
+func TestReformulateQuotedQuery(t *testing.T) {
+	ts := testServer(t)
+	// A quoted multi-word (author) term goes through URL encoding.
+	q := url.QueryEscape(`"probabilistic" ranking`)
+	var resp map[string]any
+	if code := getJSON(t, ts.URL+"/api/reformulate?q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, resp)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Total   int `json:"total"`
+		Results []struct {
+			Tuples []string `json:"Tuples"`
+			Cost   int      `json:"Cost"`
+		} `json:"results"`
+	}
+	code := getJSON(t, ts.URL+"/api/search?q=probabilistic", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Total == 0 || len(resp.Results) == 0 {
+		t.Fatal("no search results")
+	}
+	// Miss returns an empty array, not null.
+	var missRaw map[string]json.RawMessage
+	if code := getJSON(t, ts.URL+"/api/search?q=zzznotaword", &missRaw); code != http.StatusOK {
+		t.Fatalf("miss status %d", code)
+	}
+	if string(missRaw["results"]) != "[]" {
+		t.Fatalf("miss results = %s, want []", missRaw["results"])
+	}
+}
+
+func TestSimilarAndCloseEndpoints(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Term  string `json:"term"`
+		Terms []struct {
+			Term  string  `json:"Term"`
+			Field string  `json:"Field"`
+			Score float64 `json:"Score"`
+		} `json:"terms"`
+	}
+	if code := getJSON(t, ts.URL+"/api/similar?term=probabilistic&k=5", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Terms) == 0 || len(resp.Terms) > 5 {
+		t.Fatalf("similar terms = %d", len(resp.Terms))
+	}
+	if code := getJSON(t, ts.URL+"/api/close?term=probabilistic&field=conferences.name", &resp); code != http.StatusOK {
+		t.Fatalf("close status %d", code)
+	}
+	for _, rt := range resp.Terms {
+		if rt.Field != "conferences.name" {
+			t.Fatalf("field filter leaked %+v", rt)
+		}
+	}
+}
+
+func TestFacetsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Facets []struct {
+			Field string `json:"Field"`
+			Terms []struct {
+				Term string `json:"Term"`
+			} `json:"Terms"`
+		} `json:"facets"`
+	}
+	if code := getJSON(t, ts.URL+"/api/facets?q=probabilistic&k=3", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Facets) == 0 {
+		t.Fatal("no facets")
+	}
+	for _, f := range resp.Facets {
+		if len(f.Terms) == 0 || len(f.Terms) > 3 {
+			t.Fatalf("facet %q has %d terms", f.Field, len(f.Terms))
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Dataset string `json:"dataset"`
+		Graph   string `json:"graph"`
+	}
+	if code := getJSON(t, ts.URL+"/api/stats", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(resp.Graph, "nodes") || !strings.Contains(resp.Dataset, "papers") {
+		t.Fatalf("stats = %+v", resp)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/api/reformulate", http.StatusBadRequest},                        // missing q
+		{"/api/reformulate?q=%22unbalanced", http.StatusBadRequest},        // bad quoting
+		{"/api/reformulate?q=zzznotaword", http.StatusBadRequest},          // unknown term
+		{"/api/reformulate?q=probabilistic&k=junk", http.StatusBadRequest}, // bad k
+		{"/api/similar?term=", http.StatusBadRequest},                      // missing term
+		{"/api/nope", http.StatusNotFound},                                 // unknown route
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s -> %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+	// Error bodies are JSON envelopes.
+	resp, err := http.Get(ts.URL + "/api/reformulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("error envelope = %+v, %v", envelope, err)
+	}
+}
+
+func TestMethodRestriction(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/api/reformulate?q=probabilistic", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST -> %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestKClamping(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Suggestions []json.RawMessage `json:"suggestions"`
+	}
+	if code := getJSON(t, ts.URL+"/api/reformulate?q=probabilistic&k=10000", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Suggestions) > 50 {
+		t.Fatalf("k clamp failed: %d suggestions", len(resp.Suggestions))
+	}
+}
+
+func ExampleServer() {
+	corpus, _ := synthetic.Bibliography(synthetic.Config{Seed: 1, Topics: 4, Confs: 8, Authors: 60, Papers: 300})
+	eng, _ := kqr.Open(corpus.Dataset, kqr.Options{})
+	srv, _ := New(eng, WithLogger(log.New(io.Discard, "", 0)))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.StatusCode)
+	// Output: 200
+}
+
+func TestUIServed(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"/api/search", "/api/reformulate", "/api/facets", "<form"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("UI missing %q", want)
+		}
+	}
+	// Unknown paths under / are 404, not the UI page.
+	resp2, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path -> %d, want 404", resp2.StatusCode)
+	}
+}

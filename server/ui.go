@@ -1,0 +1,114 @@
+package server
+
+import "net/http"
+
+// uiHTML is the built-in single-page interface: the paper's Figure 6
+// experience — a search box, the traditional result list in the main
+// column, and ranked reformulated queries plus facets in the side panel.
+// It talks to the JSON API on the same origin and has no build step or
+// external assets.
+const uiHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>kqr — keyword query reformulation</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 15px/1.45 system-ui, sans-serif; margin: 0 auto; max-width: 1100px; padding: 1.5rem; }
+  h1 { font-size: 1.3rem; }
+  form { display: flex; gap: .5rem; margin-bottom: 1.25rem; }
+  input[type=text] { flex: 1; font-size: 1rem; padding: .5rem .75rem; }
+  button { font-size: 1rem; padding: .5rem 1rem; cursor: pointer; }
+  .columns { display: grid; grid-template-columns: 3fr 2fr; gap: 2rem; }
+  .result { padding: .4rem 0; border-bottom: 1px solid rgba(127,127,127,.25); }
+  .cost { opacity: .6; font-size: .85em; margin-left: .5rem; }
+  .suggestion { cursor: pointer; padding: .35rem .5rem; border-radius: 6px; }
+  .suggestion:hover { background: rgba(127,127,127,.15); }
+  .score { opacity: .6; font-size: .8em; margin-left: .4rem; }
+  .facet h3 { margin: .8rem 0 .2rem; font-size: .9rem; opacity: .75; }
+  .facet span { display: inline-block; margin: .15rem .3rem .15rem 0; padding: .1rem .5rem;
+    border: 1px solid rgba(127,127,127,.4); border-radius: 999px; cursor: pointer; font-size: .85em; }
+  .error { color: #c0392b; }
+  .muted { opacity: .6; }
+</style>
+</head>
+<body>
+<h1>kqr — keyword query reformulation on structured data</h1>
+<form id="f">
+  <input type="text" id="q" placeholder='try: probabilistic ranking — quote multi-word terms' autofocus>
+  <button type="submit">Search</button>
+</form>
+<div class="columns">
+  <section>
+    <h2>Results <span id="total" class="muted"></span></h2>
+    <div id="results" class="muted">Type a query to search.</div>
+  </section>
+  <aside>
+    <h2>Did you also mean…</h2>
+    <div id="suggestions" class="muted">Reformulated queries appear here.</div>
+    <div id="facets"></div>
+  </aside>
+</div>
+<script>
+const $ = id => document.getElementById(id);
+async function getJSON(url) {
+  const resp = await fetch(url);
+  const body = await resp.json();
+  if (!resp.ok) throw new Error(body.error || resp.statusText);
+  return body;
+}
+function esc(s) { const d = document.createElement('div'); d.textContent = s; return d.innerHTML; }
+async function run(query) {
+  $('q').value = query;
+  $('results').innerHTML = '<span class="muted">searching…</span>';
+  $('suggestions').innerHTML = '';
+  $('facets').innerHTML = '';
+  $('total').textContent = '';
+  const enc = encodeURIComponent(query);
+  try {
+    const search = await getJSON('/api/search?q=' + enc);
+    $('total').textContent = '(' + search.total + ')';
+    $('results').innerHTML = search.results.length
+      ? search.results.map(r =>
+          '<div class="result">' + r.Tuples.map(esc).join(' ⟶ ') +
+          '<span class="cost">cost ' + r.Cost + '</span></div>').join('')
+      : '<span class="muted">no results</span>';
+  } catch (e) {
+    $('results').innerHTML = '<span class="error">' + esc(e.message) + '</span>';
+  }
+  try {
+    const ref = await getJSON('/api/reformulate?q=' + enc + '&k=8');
+    $('suggestions').innerHTML = ref.suggestions.length
+      ? ref.suggestions.map(s =>
+          '<div class="suggestion" data-q="' + esc(s.query) + '">' + esc(s.query) +
+          '<span class="score">' + s.score.toExponential(1) + '</span></div>').join('')
+      : '<span class="muted">no reformulations</span>';
+    document.querySelectorAll('.suggestion').forEach(el =>
+      el.addEventListener('click', () => run(el.dataset.q)));
+  } catch (e) {
+    $('suggestions').innerHTML = '<span class="error">' + esc(e.message) + '</span>';
+  }
+  try {
+    const fac = await getJSON('/api/facets?q=' + enc + '&k=6');
+    $('facets').innerHTML = fac.facets.map(f =>
+      '<div class="facet"><h3>' + esc(f.Field) + '</h3>' +
+      f.Terms.map(t => '<span data-q="' + esc(t.Term) + '">' + esc(t.Term) + '</span>').join('') +
+      '</div>').join('');
+    document.querySelectorAll('.facet span').forEach(el =>
+      el.addEventListener('click', () => run(el.dataset.q)));
+  } catch (e) { /* facets are best-effort */ }
+}
+$('f').addEventListener('submit', ev => { ev.preventDefault(); run($('q').value.trim()); });
+</script>
+</body>
+</html>`
+
+// handleUI serves the built-in interface.
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(uiHTML))
+}

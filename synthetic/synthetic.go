@@ -1,0 +1,165 @@
+// Package synthetic generates DBLP-shaped bibliographic datasets for
+// demos, examples and benchmarks. The generator plants latent topical
+// structure — including quasi-synonym pairs that never co-occur in one
+// title yet share venues and authors — so the reformulation engine has
+// real semantic signal to find, mirroring the corpus the original paper
+// evaluated on.
+package synthetic
+
+import (
+	"sort"
+
+	"kqr"
+	"kqr/internal/catgen"
+	"kqr/internal/dblpgen"
+)
+
+// Config sizes a corpus. Zero values take sensible defaults
+// (8 topics, 40 conferences, 1500 authors, 6000 papers, seed 1).
+type Config struct {
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Topics is the number of latent research areas.
+	Topics int
+	// Confs, Authors, Papers size the tables.
+	Confs   int
+	Authors int
+	Papers  int
+}
+
+// Corpus is a generated dataset plus its latent ground truth.
+type Corpus struct {
+	// Dataset is ready to open an Engine on.
+	Dataset *kqr.Dataset
+	// AuthorNames and ConfNames list generated entities in id order.
+	AuthorNames []string
+	ConfNames   []string
+
+	truth *dblpgen.GroundTruth
+}
+
+// Bibliography generates a corpus. The same Config always produces the
+// same corpus.
+func Bibliography(cfg Config) (*Corpus, error) {
+	c, err := dblpgen.Generate(dblpgen.Config{
+		Seed:    cfg.Seed,
+		Topics:  cfg.Topics,
+		Confs:   cfg.Confs,
+		Authors: cfg.Authors,
+		Papers:  cfg.Papers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{
+		Dataset:     kqr.WrapDatabase(c.DB),
+		AuthorNames: c.AuthorNames,
+		ConfNames:   c.ConfNames,
+		truth:       c.Truth,
+	}, nil
+}
+
+// Related reports whether two terms serve the same latent information
+// need (identical, planted synonyms, or same topic) — the ground truth
+// behind the evaluation harness.
+func (c *Corpus) Related(a, b string) bool { return c.truth.Related(a, b) }
+
+// Topics names the latent topics.
+func (c *Corpus) Topics() []string {
+	out := make([]string, len(c.truth.TopicNames))
+	copy(out, c.truth.TopicNames)
+	return out
+}
+
+// TopicTerms returns the topical vocabulary of one topic, planted
+// synonym members first.
+func (c *Corpus) TopicTerms(topic int) []string {
+	if topic < 0 || topic >= len(c.truth.TopicNames) {
+		return nil
+	}
+	return c.truth.TopicTermList(topic)
+}
+
+// SynonymPairs returns the planted quasi-synonym pairs, sorted by first
+// member. The two members of a pair never co-occur in one title.
+func (c *Corpus) SynonymPairs() [][2]string {
+	seen := make(map[string]bool)
+	var out [][2]string
+	for a, b := range c.truth.Synonym {
+		if seen[a] || seen[b] {
+			continue
+		}
+		seen[a], seen[b] = true, true
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, [2]string{a, b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// CatalogConfig sizes an e-commerce catalog corpus.
+type CatalogConfig struct {
+	Seed       int64
+	Domains    int // product domains (≤4 built-ins; default all)
+	Brands     int
+	Categories int
+	Products   int
+}
+
+// CatalogCorpus is a generated product catalog with its ground truth.
+type CatalogCorpus struct {
+	// Dataset is ready to open an Engine on: products (two foreign
+	// keys), brands, categories and reviews.
+	Dataset    *kqr.Dataset
+	BrandNames []string
+	CatNames   []string
+
+	cat *catgen.Corpus
+}
+
+// Catalog generates a deterministic product-catalog corpus with the
+// same kind of planted structure as Bibliography — per-domain
+// vocabulary and quasi-synonym pairs ("wireless" ↔ "bluetooth") that
+// never share a product name — over a completely different schema.
+func Catalog(cfg CatalogConfig) (*CatalogCorpus, error) {
+	c, err := catgen.Generate(catgen.Config{
+		Seed:       cfg.Seed,
+		Domains:    cfg.Domains,
+		Brands:     cfg.Brands,
+		Categories: cfg.Categories,
+		Products:   cfg.Products,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CatalogCorpus{
+		Dataset:    kqr.WrapDatabase(c.DB),
+		BrandNames: c.BrandNames,
+		CatNames:   c.CatNames,
+		cat:        c,
+	}, nil
+}
+
+// Related reports whether two terms serve the same latent need in the
+// catalog (identical, planted partners, or same product domain).
+func (c *CatalogCorpus) Related(a, b string) bool { return c.cat.Related(a, b) }
+
+// SynonymPairs returns the catalog's planted pairs, sorted.
+func (c *CatalogCorpus) SynonymPairs() [][2]string {
+	seen := make(map[string]bool)
+	var out [][2]string
+	for a, b := range c.cat.Synonym {
+		if seen[a] || seen[b] {
+			continue
+		}
+		seen[a], seen[b] = true, true
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, [2]string{a, b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,176 @@
+package kqr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triple is one subject–predicate–object statement. NewTripleDataset
+// turns a bag of triples — RDF-style schemaless structured data — into
+// a Dataset, supporting the paper's claim that the approach "is also
+// applicable to other kinds of schema or even schemaless structured
+// data, e.g., XML, RDF and graph data" (§III-A).
+type Triple struct {
+	Subject   string
+	Predicate string
+	// Object is an entity reference when its value also occurs as a
+	// subject; otherwise it is a literal attribute value.
+	Object string
+}
+
+// NewTripleDataset maps triples onto the relational model the engine
+// understands:
+//
+//   - every subject (and every object that is also a subject) becomes a
+//     row of an "entities" table, its name an atomic term;
+//   - a triple whose object is an entity becomes a row of a key-less
+//     two-foreign-key relation table "rel_<predicate>" — which the TAT
+//     graph collapses into a direct entity–entity edge;
+//   - a triple whose object is a literal becomes a row of an attribute
+//     table "attr_<predicate>" holding the literal as segmented text
+//     linked to its entity.
+//
+// The resulting graph is exactly the heterogeneous entity/term graph the
+// paper describes, with predicates as edge provenance.
+//
+// Limitation: all entities share one node class, so the same-class
+// restriction on similar terms distinguishes entities from attribute
+// words but not entity types from each other — a film can be suggested
+// where a person stood. Schemaful datasets (NewDataset) keep per-table
+// classes and do not have this blur.
+func NewTripleDataset(triples []Triple) (*Dataset, error) {
+	if len(triples) == 0 {
+		return nil, fmt.Errorf("kqr: no triples")
+	}
+	// Pass 1: the entity universe and each predicate's usage.
+	entityID := make(map[string]int64)
+	var entityNames []string
+	addEntity := func(name string) {
+		if _, ok := entityID[name]; !ok {
+			entityID[name] = int64(len(entityNames) + 1)
+			entityNames = append(entityNames, name)
+		}
+	}
+	for _, t := range triples {
+		if t.Subject == "" || t.Predicate == "" {
+			return nil, fmt.Errorf("kqr: triple with empty subject or predicate: %+v", t)
+		}
+		addEntity(t.Subject)
+	}
+	type predUse struct{ rel, attr bool }
+	uses := make(map[string]*predUse)
+	for _, t := range triples {
+		u := uses[t.Predicate]
+		if u == nil {
+			u = &predUse{}
+			uses[t.Predicate] = u
+		}
+		if _, isEntity := entityID[t.Object]; isEntity {
+			u.rel = true
+		} else {
+			u.attr = true
+		}
+	}
+
+	// Pass 2: schema. Table names must be unique after sanitizing.
+	tables := []Table{{
+		Name: "entities",
+		Columns: []Column{
+			{Name: "eid", Type: TypeInt},
+			{Name: "name", Type: TypeString, Text: TextAtomic},
+		},
+		PrimaryKey: "eid",
+	}}
+	usedNames := map[string]bool{"entities": true}
+	relTable := make(map[string]string)
+	attrTable := make(map[string]string)
+	uniqueName := func(base string) string {
+		name := base
+		for i := 2; usedNames[name]; i++ {
+			name = fmt.Sprintf("%s_%d", base, i)
+		}
+		usedNames[name] = true
+		return name
+	}
+	// Deterministic table order: predicates in first-appearance order.
+	var predOrder []string
+	seenPred := map[string]bool{}
+	for _, t := range triples {
+		if !seenPred[t.Predicate] {
+			seenPred[t.Predicate] = true
+			predOrder = append(predOrder, t.Predicate)
+		}
+	}
+	for _, pred := range predOrder {
+		u := uses[pred]
+		if u.rel {
+			name := uniqueName("rel_" + sanitizeIdent(pred))
+			relTable[pred] = name
+			tables = append(tables, Table{
+				Name: name,
+				Columns: []Column{
+					{Name: "src", Type: TypeInt},
+					{Name: "dst", Type: TypeInt},
+				},
+				ForeignKeys: []ForeignKey{
+					{Column: "src", RefTable: "entities"},
+					{Column: "dst", RefTable: "entities"},
+				},
+			})
+		}
+		if u.attr {
+			name := uniqueName("attr_" + sanitizeIdent(pred))
+			attrTable[pred] = name
+			tables = append(tables, Table{
+				Name: name,
+				Columns: []Column{
+					{Name: "eid", Type: TypeInt},
+					{Name: "value", Type: TypeString, Text: TextSegmented},
+				},
+				ForeignKeys: []ForeignKey{{Column: "eid", RefTable: "entities"}},
+			})
+		}
+	}
+	ds, err := NewDataset(tables...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 3: rows.
+	for _, name := range entityNames {
+		if err := ds.Insert("entities", entityID[name], name); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range triples {
+		if dst, isEntity := entityID[t.Object]; isEntity {
+			if err := ds.Insert(relTable[t.Predicate], entityID[t.Subject], dst); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := ds.Insert(attrTable[t.Predicate], entityID[t.Subject], t.Object); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// sanitizeIdent lowercases and maps non-alphanumerics to underscores so
+// predicates become valid, readable table names.
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := strings.Trim(b.String(), "_")
+	if out == "" {
+		return "p"
+	}
+	return out
+}

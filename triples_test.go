@@ -1,0 +1,133 @@
+package kqr_test
+
+import (
+	"strings"
+	"testing"
+
+	"kqr"
+)
+
+// movieTriples is a small knowledge graph: films with taglines, linked
+// to directors and genres. "noir" and "hardboiled" never share a
+// tagline but share directors and genres.
+func movieTriples() []kqr.Triple {
+	t := func(s, p, o string) kqr.Triple { return kqr.Triple{Subject: s, Predicate: p, Object: o} }
+	return []kqr.Triple{
+		// Entities become subjects somewhere.
+		t("Film: Night Ledger", "directedBy", "Ada Vex"),
+		t("Film: Night Ledger", "genre", "Crime"),
+		t("Film: Night Ledger", "tagline", "a noir tale of debts in the dark city"),
+		t("Film: Rain Market", "directedBy", "Ada Vex"),
+		t("Film: Rain Market", "genre", "Crime"),
+		t("Film: Rain Market", "tagline", "hardboiled detective walks the rain market"),
+		t("Film: Glass Harbor", "directedBy", "Omar Lund"),
+		t("Film: Glass Harbor", "genre", "Crime"),
+		t("Film: Glass Harbor", "tagline", "a noir harbor hides the glass truth"),
+		t("Film: Paper Sun", "directedBy", "Omar Lund"),
+		t("Film: Paper Sun", "genre", "Drama"),
+		t("Film: Paper Sun", "tagline", "hardboiled reporter chases the paper sun"),
+		t("Film: Meadow Line", "directedBy", "Ada Vex"),
+		t("Film: Meadow Line", "genre", "Drama"),
+		t("Film: Meadow Line", "tagline", "a gentle meadow story of the line home"),
+		// Make the entity objects subjects so they are entities.
+		t("Ada Vex", "profession", "director"),
+		t("Omar Lund", "profession", "director"),
+		t("Crime", "kind", "genre"),
+		t("Drama", "kind", "genre"),
+	}
+}
+
+func TestNewTripleDatasetStructure(t *testing.T) {
+	ds, err := kqr.NewTripleDataset(movieTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	stats := ds.Stats()
+	if !strings.Contains(stats, "entities=9") {
+		t.Fatalf("stats = %q, want 9 entities (5 films, 2 directors, 2 genres)", stats)
+	}
+	for _, want := range []string{"rel_directedby", "rel_genre", "attr_tagline", "attr_profession"} {
+		if !strings.Contains(stats, want) {
+			t.Fatalf("stats = %q, missing table %q", stats, want)
+		}
+	}
+}
+
+func TestNewTripleDatasetValidation(t *testing.T) {
+	if _, err := kqr.NewTripleDataset(nil); err == nil {
+		t.Fatal("empty triples accepted")
+	}
+	if _, err := kqr.NewTripleDataset([]kqr.Triple{{Subject: "", Predicate: "p", Object: "o"}}); err == nil {
+		t.Fatal("empty subject accepted")
+	}
+	if _, err := kqr.NewTripleDataset([]kqr.Triple{{Subject: "s", Predicate: "", Object: "o"}}); err == nil {
+		t.Fatal("empty predicate accepted")
+	}
+}
+
+func TestTripleEngineEndToEnd(t *testing.T) {
+	ds, err := kqr.NewTripleDataset(movieTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planted pattern: "noir" and "hardboiled" never share a
+	// tagline but share directors/genres; the walk must relate them.
+	sims, err := eng.SimilarTerms("noir", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rt := range sims {
+		if rt.Term == "hardboiled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hardboiled not similar to noir: %+v", sims)
+	}
+	// Reformulation over the knowledge graph.
+	sugs, err := eng.Reformulate([]string{"noir"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions on triple data")
+	}
+	// Entity names are atomic terms: the director resolves.
+	if _, err := eng.SimilarTerms("Ada Vex", 3); err != nil {
+		t.Fatalf("entity term unresolved: %v", err)
+	}
+	// Search joins through the collapsed relation edges.
+	_, total, err := eng.Search([]string{"ada vex", "noir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no joined results for director + tagline word")
+	}
+}
+
+func TestSanitizedPredicateCollision(t *testing.T) {
+	// Two predicates sanitizing to the same identifier must get
+	// distinct tables.
+	triples := []kqr.Triple{
+		{Subject: "a", Predicate: "has-part", Object: "small thing one"},
+		{Subject: "a", Predicate: "has part", Object: "small thing two"},
+		{Subject: "a", Predicate: "x", Object: "keeps a a subject"},
+	}
+	ds, err := kqr.NewTripleDataset(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ds.Stats()
+	if !strings.Contains(stats, "attr_has_part=1") || !strings.Contains(stats, "attr_has_part_2=1") {
+		t.Fatalf("stats = %q, want two disambiguated attr tables", stats)
+	}
+}

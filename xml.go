@@ -1,0 +1,93 @@
+package kqr
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// NewXMLDataset parses an XML document into a Dataset, completing the
+// paper's §III-A claim that the approach applies to "XML, RDF and graph
+// data". The mapping mirrors NewTripleDataset:
+//
+//   - every element becomes an entity, named by its id/name attribute
+//     when present, otherwise "<tag>#<n>" in document order;
+//   - each element carries an "element" attribute holding its tag, so
+//     all elements of one kind share vocabulary;
+//   - XML attributes become "<attr>" literal attributes;
+//   - trimmed character data becomes a "text" attribute (segmented into
+//     terms);
+//   - nesting becomes a "child" relation edge between parent and child
+//     entities.
+//
+// The function reads a single well-formed document (one root element).
+func NewXMLDataset(r io.Reader) (*Dataset, error) {
+	dec := xml.NewDecoder(r)
+	var triples []Triple
+	type frame struct {
+		name string
+		text strings.Builder
+	}
+	var stack []*frame
+	counter := map[string]int{}
+
+	entityName := func(tag string, attrs []xml.Attr) string {
+		for _, a := range attrs {
+			key := strings.ToLower(a.Name.Local)
+			if (key == "id" || key == "name") && strings.TrimSpace(a.Value) != "" {
+				return tag + ":" + strings.TrimSpace(a.Value)
+			}
+		}
+		counter[tag]++
+		return fmt.Sprintf("%s#%d", tag, counter[tag])
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("kqr: parsing xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			tag := t.Name.Local
+			name := entityName(tag, t.Attr)
+			triples = append(triples, Triple{Subject: name, Predicate: "element", Object: tag})
+			for _, a := range t.Attr {
+				val := strings.TrimSpace(a.Value)
+				if val == "" {
+					continue
+				}
+				triples = append(triples, Triple{Subject: name, Predicate: a.Name.Local, Object: val})
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1].name
+				triples = append(triples, Triple{Subject: parent, Predicate: "child", Object: name})
+			}
+			stack = append(stack, &frame{name: name})
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.Write(t)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("kqr: unbalanced xml end element %q", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if text := strings.TrimSpace(top.text.String()); text != "" {
+				triples = append(triples, Triple{Subject: top.name, Predicate: "text", Object: text})
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("kqr: xml document truncated inside <%s>", stack[len(stack)-1].name)
+	}
+	if len(triples) == 0 {
+		return nil, fmt.Errorf("kqr: xml document holds no elements")
+	}
+	return NewTripleDataset(triples)
+}

@@ -1,0 +1,87 @@
+package kqr_test
+
+import (
+	"strings"
+	"testing"
+
+	"kqr"
+)
+
+const bibXML = `<?xml version="1.0"?>
+<bibliography>
+  <conference id="vldb">
+    <paper id="p1" year="2010">
+      <title>probabilistic query evaluation</title>
+      <author>Alice Ames</author>
+    </paper>
+    <paper id="p2" year="2011">
+      <title>uncertain data management</title>
+      <author>Alice Ames</author>
+      <author>Bob Bell</author>
+    </paper>
+  </conference>
+  <conference id="icde">
+    <paper id="p3" year="2012">
+      <title>xml twig indexing</title>
+      <author>Bob Bell</author>
+    </paper>
+  </conference>
+</bibliography>`
+
+func TestNewXMLDataset(t *testing.T) {
+	ds, err := kqr.NewXMLDataset(strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	stats := ds.Stats()
+	// Entities: 1 bibliography + 2 conferences + 3 papers + 3 titles +
+	// 4 authors = 13.
+	if !strings.Contains(stats, "entities=13") {
+		t.Fatalf("stats = %q", stats)
+	}
+	for _, want := range []string{"rel_child", "attr_text", "attr_year", "attr_element"} {
+		if !strings.Contains(stats, want) {
+			t.Fatalf("stats = %q missing %q", stats, want)
+		}
+	}
+
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Title words are searchable terms from the text attributes.
+	if _, err := eng.SimilarTerms("probabilistic", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Structure joins: paper text + its year attribute.
+	_, total, err := eng.Search([]string{"probabilistic", "2010"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no joined results over xml structure")
+	}
+	// Reformulation works end to end.
+	sugs, err := eng.Reformulate([]string{"uncertain"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+}
+
+func TestNewXMLDatasetErrors(t *testing.T) {
+	if _, err := kqr.NewXMLDataset(strings.NewReader("")); err == nil {
+		t.Fatal("empty document accepted")
+	}
+	if _, err := kqr.NewXMLDataset(strings.NewReader("<a><b></a>")); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+	if _, err := kqr.NewXMLDataset(strings.NewReader("just text")); err == nil {
+		t.Fatal("non-xml accepted")
+	}
+}
