@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench fuzz experiments demo clean
 
-all: build vet test
+all: check
+
+# Default gate: compile, static checks, tests, and the race detector
+# (the serving layer is lock-heavy, so -race is part of the gate).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,8 +19,10 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 cover:
 	$(GO) test -cover ./...
@@ -26,10 +32,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz pass over the parsers.
+# Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s .
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=20s ./internal/textindex/
+	$(GO) test -fuzz=FuzzKeyInjective -fuzztime=20s ./internal/serving/
+	$(GO) test -fuzz=FuzzCacheKeyCanonical -fuzztime=20s ./server/
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md data).
 experiments:

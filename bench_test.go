@@ -11,14 +11,17 @@
 package kqr_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"kqr/internal/dblpgen"
 	"kqr/internal/experiments"
 	"kqr/internal/hmm"
 	"kqr/internal/randomwalk"
+	"kqr/internal/serving"
 )
 
 var (
@@ -350,4 +353,83 @@ func BenchmarkOfflineBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Benchmark_ServingCache measures the serving layer's three paths for
+// one /api/reformulate-shaped request: uncached (full HMM decode plus
+// JSON encode, the pre-serving-layer baseline), cache hit (fingerprint
+// build plus sharded LRU lookup — must be >=10x faster than uncached),
+// and coalesced (concurrent identical misses sharing one computation
+// through the singleflight group).
+func Benchmark_ServingCache(b *testing.B) {
+	s := benchEnv(b)
+	query := []string{"probabilistic", "ranking"}
+	compute := func() ([]byte, error) {
+		sugs, err := s.TAT.Reformulate(query, 5)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(sugs)
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := compute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		cache := serving.NewCache(1<<20, time.Minute)
+		body, err := compute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Put(serving.Key("reformulate", query, "k=5"), body)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The real hit path builds the fingerprint and then looks
+			// it up, so both are inside the timed region.
+			key := serving.Key("reformulate", query, "k=5")
+			if _, ok := cache.Get(key); !ok {
+				b.Fatal("unexpected miss")
+			}
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		cache := serving.NewCache(64<<20, time.Minute)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A distinct key each iteration keeps every lookup a miss:
+			// fingerprint, failed Get, engine compute, Put.
+			key := serving.Key("reformulate", query, "k=5", fmt.Sprintf("i=%d", i))
+			if _, ok := cache.Get(key); ok {
+				b.Fatal("unexpected hit")
+			}
+			body, err := compute()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache.Put(key, body)
+		}
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		var g serving.Group
+		key := serving.Key("reformulate", query, "k=5")
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err, _ := g.Do(key, compute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }

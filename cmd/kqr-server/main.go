@@ -4,16 +4,29 @@
 //	kqr-server -addr :8080 -papers 3000
 //	curl 'localhost:8080/api/reformulate?q=probabilistic+ranking&k=5'
 //	curl 'localhost:8080/api/facets?q=probabilistic'
+//	curl 'localhost:8080/api/metrics'
 //
 // With -relations the offline stage for the whole title vocabulary is
 // precomputed at startup (and cached to the given file across restarts),
 // trading startup time for uniformly warm query latency.
+//
+// The serving layer defaults to production posture: a 64 MB response
+// cache with a 5-minute TTL plus request coalescing (-cache-mb 0
+// disables), and a concurrency limit of 4×GOMAXPROCS with a bounded
+// wait queue that sheds overload as 503 (-max-inflight 0 disables).
+// SIGINT/SIGTERM drain in-flight requests for up to 10 seconds before
+// exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
 	"kqr"
 	"kqr/server"
@@ -22,19 +35,23 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Int64("seed", 20120401, "corpus seed")
-		papers    = flag.Int("papers", 3000, "corpus size in papers")
-		relations = flag.String("relations", "", "path for cached precomputed relations (optional)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 20120401, "corpus seed")
+		papers      = flag.Int("papers", 3000, "corpus size in papers")
+		relations   = flag.String("relations", "", "path for cached precomputed relations (optional)")
+		cacheMB     = flag.Int("cache-mb", 64, "response cache size in MiB (0 disables caching and coalescing)")
+		cacheTTL    = flag.Duration("cache-ttl", 5*time.Minute, "response cache entry TTL (0 = no expiry)")
+		maxInflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently executing requests (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for an execution slot before shedding")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *papers, *relations); err != nil {
+	if err := run(*addr, *seed, *papers, *relations, *cacheMB, *cacheTTL, *maxInflight, *maxQueue); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, papers int, relationsPath string) error {
+func run(addr string, seed int64, papers int, relationsPath string, cacheMB int, cacheTTL time.Duration, maxInflight, maxQueue int) error {
 	fmt.Println("building corpus and TAT graph...")
 	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: seed, Papers: papers})
 	if err != nil {
@@ -52,11 +69,25 @@ func run(addr string, seed int64, papers int, relationsPath string) error {
 		}
 	}
 
-	srv, err := server.New(eng, server.WithDatasetStats(corpus.Dataset.Stats()))
+	opts := []server.Option{server.WithDatasetStats(corpus.Dataset.Stats())}
+	if cacheMB > 0 {
+		opts = append(opts, server.WithCache(int64(cacheMB)<<20, cacheTTL))
+		fmt.Printf("serving: %d MiB response cache, ttl %v, coalescing on\n", cacheMB, cacheTTL)
+	}
+	if maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(maxInflight, maxQueue))
+		fmt.Printf("serving: max %d in flight, queue %d, overload shed as 503\n", maxInflight, maxQueue)
+	}
+	srv, err := server.New(eng, opts...)
 	if err != nil {
 		return err
 	}
-	return srv.ListenAndServe(addr)
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting and drain
+	// in-flight requests under the server's 10s grace period.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Serve(ctx, addr)
 }
 
 // loadOrPrecompute restores cached relations when present, otherwise

@@ -1,0 +1,137 @@
+package serving
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// numShards is the fixed shard count; a power of two keeps the modulo
+// cheap and 16 spreads lock contention far past the core counts the
+// server sees.
+const numShards = 16
+
+// entryOverhead approximates the per-entry bookkeeping cost (list
+// element, map bucket slot, entry struct) charged against the byte
+// budget in addition to key and value bytes.
+const entryOverhead = 120
+
+// Cache is a sharded LRU byte cache with a global byte budget and a
+// per-entry TTL. Values are immutable []byte blobs (pre-encoded JSON
+// response bodies); callers must not mutate what Get returns.
+type Cache struct {
+	shards [numShards]shard
+	ttl    time.Duration
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+type shard struct {
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	bytes    int64
+	maxBytes int64
+}
+
+type entry struct {
+	key     string
+	val     []byte
+	expires time.Time
+	size    int64
+}
+
+// NewCache builds a cache holding at most maxBytes across all shards;
+// entries older than ttl are treated as absent (ttl <= 0 means no
+// expiry). maxBytes below one entry per shard still admits single
+// entries — each shard keeps at least its newest entry.
+func NewCache(maxBytes int64, ttl time.Duration) *Cache {
+	c := &Cache{ttl: ttl, now: time.Now}
+	per := maxBytes / numShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].maxBytes = per
+	}
+	return c
+}
+
+// Get returns the cached value for key, if present and unexpired.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := &c.shards[shardIndex(key, numShards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	en := el.Value.(*entry)
+	if c.ttl > 0 && c.now().After(en.expires) {
+		s.remove(el)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return en.val, true
+}
+
+// Put inserts or replaces the value for key, evicting least-recently
+// used entries until the shard is back under its byte budget. The
+// newest entry is never evicted, so one oversized value still caches.
+func (c *Cache) Put(key string, val []byte) {
+	s := &c.shards[shardIndex(key, numShards)]
+	en := &entry{
+		key:  key,
+		val:  val,
+		size: int64(len(key)+len(val)) + entryOverhead,
+	}
+	if c.ttl > 0 {
+		en.expires = c.now().Add(c.ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.remove(el)
+	}
+	el := s.ll.PushFront(en)
+	s.items[key] = el
+	s.bytes += en.size
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		s.remove(s.ll.Back())
+	}
+}
+
+// remove unlinks an element; the caller holds the shard lock.
+func (s *shard) remove(el *list.Element) {
+	en := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, en.key)
+	s.bytes -= en.size
+}
+
+// Len reports the number of live entries across all shards (expired
+// entries that have not been touched still count until evicted).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes reports the total charged size of all live entries.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(1<<20, time.Minute)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// Replacement keeps one entry and the newest value.
+	c.Put("a", []byte("beta"))
+	v, _ = c.Get("a")
+	if string(v) != "beta" {
+		t.Fatalf("after replace Get(a) = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replacing one key", c.Len())
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	c := NewCache(1<<20, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", []byte("alpha"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry served")
+	}
+	// Expired Get removes the entry.
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after expiry", c.Len())
+	}
+}
+
+func TestCacheNoTTL(t *testing.T) {
+	c := NewCache(1<<20, 0)
+	c.now = func() time.Time { return time.Unix(1, 0) }
+	c.Put("a", []byte("alpha"))
+	c.now = func() time.Time { return time.Unix(1e9, 0) }
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("ttl<=0 should never expire")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Tiny budget: each shard holds ~2 small entries.
+	c := NewCache(numShards*2*(entryOverhead+40), time.Minute)
+	for i := 0; i < 400; i++ {
+		c.Put(fmt.Sprintf("key-%03d", i), make([]byte, 32))
+	}
+	if got, want := c.Bytes(), int64(numShards*2*(entryOverhead+40)); got > want {
+		t.Fatalf("cache bytes %d exceed budget %d", got, want)
+	}
+	if c.Len() >= 400 {
+		t.Fatalf("nothing evicted: %d entries", c.Len())
+	}
+	// An oversized value still caches (newest entry never evicted).
+	big := make([]byte, 10*(entryOverhead+40))
+	c.Put("big", big)
+	if v, ok := c.Get("big"); !ok || len(v) != len(big) {
+		t.Fatal("oversized entry not admitted")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// Single-shard-sized test: use keys that land on one shard by
+	// brute-force search, then verify the recently used key survives.
+	c := NewCache(numShards*3*(entryOverhead+20), time.Minute)
+	shard0 := shardKeys(t, 4)
+	for _, k := range shard0[:3] {
+		c.Put(k, make([]byte, 10))
+	}
+	// Touch the oldest so it becomes most recent.
+	if _, ok := c.Get(shard0[0]); !ok {
+		t.Fatal("expected hit")
+	}
+	// Inserting a fourth evicts the least recently used (shard0[1]).
+	c.Put(shard0[3], make([]byte, 10))
+	if _, ok := c.Get(shard0[0]); !ok {
+		t.Fatal("recently used key evicted")
+	}
+	if _, ok := c.Get(shard0[1]); ok {
+		t.Fatal("LRU key survived eviction")
+	}
+}
+
+// shardKeys returns n distinct keys that all hash to shard 0.
+func shardKeys(t *testing.T, n int) []string {
+	t.Helper()
+	var keys []string
+	for i := 0; len(keys) < n && i < 100000; i++ {
+		k := fmt.Sprintf("skey-%d", i)
+		if shardIndex(k, numShards) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatal("could not find enough shard-0 keys")
+	}
+	return keys
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1<<16, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k-%d", (g*31+i)%97)
+				if v, ok := c.Get(k); ok && len(v) != 16 {
+					t.Errorf("corrupt value len %d", len(v))
+					return
+				}
+				c.Put(k, make([]byte, 16))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

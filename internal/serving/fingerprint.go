@@ -1,0 +1,58 @@
+package serving
+
+import (
+	"hash/maphash"
+	"strconv"
+	"strings"
+)
+
+// Key builds a canonical, collision-free cache key for one request.
+//
+// The caller passes the endpoint name, the *parsed* query terms, and
+// any extra options (already formatted as "name=value"). Parsing is
+// the canonicalization step: two query strings that differ only in
+// whitespace or quoting style ("a  b", `"a" b`) parse to the same term
+// slice and therefore map to the same key, while term order is
+// preserved (reformulation is order-sensitive — the HMM transition
+// chain depends on it).
+//
+// Every component is length-prefixed and tagged (o for option, t for
+// term), so no concatenation of distinct components can collide on the
+// structural form: Key("e", ["ab"]) != Key("e", ["a", "b"]) and terms
+// can never be confused with options.
+func Key(endpoint string, terms []string, opts ...string) string {
+	var b strings.Builder
+	n := len(endpoint) + 8
+	for _, o := range opts {
+		n += len(o) + 6
+	}
+	for _, t := range terms {
+		n += len(t) + 6
+	}
+	b.Grow(n)
+	b.WriteString(endpoint)
+	for _, o := range opts {
+		b.WriteByte('|')
+		b.WriteByte('o')
+		b.WriteString(strconv.Itoa(len(o)))
+		b.WriteByte(':')
+		b.WriteString(o)
+	}
+	for _, t := range terms {
+		b.WriteByte('|')
+		b.WriteByte('t')
+		b.WriteString(strconv.Itoa(len(t)))
+		b.WriteByte(':')
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+// hashSeed is shared by all caches so a key always lands on the same
+// shard index for a given cache geometry.
+var hashSeed = maphash.MakeSeed()
+
+// shardIndex maps a key onto one of n shards.
+func shardIndex(key string, n int) int {
+	return int(maphash.String(hashSeed, key) % uint64(n))
+}

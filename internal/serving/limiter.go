@@ -1,0 +1,62 @@
+package serving
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Limiter bounds the number of requests executing concurrently. Up to
+// maxInflight requests run at once; up to maxQueue more wait for a
+// slot; anything beyond that is shed immediately with ErrSaturated so
+// the server degrades with fast 503s instead of collapsing under an
+// unbounded goroutine pile-up.
+type Limiter struct {
+	sem      chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+// NewLimiter builds a limiter admitting maxInflight concurrent
+// requests with a wait queue of maxQueue. maxInflight < 1 is treated
+// as 1; maxQueue < 0 as 0 (shed as soon as all slots are busy).
+func NewLimiter(maxInflight, maxQueue int) *Limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{sem: make(chan struct{}, maxInflight), maxQueue: int64(maxQueue)}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if
+// all slots are busy. It returns ErrSaturated when the queue is full
+// and ctx.Err() if the caller gives up while queued. A nil error must
+// be paired with exactly one Release.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.waiting.Add(1) > l.maxQueue {
+		l.waiting.Add(-1)
+		return ErrSaturated
+	}
+	defer l.waiting.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (l *Limiter) Release() { <-l.sem }
+
+// Inflight reports the number of currently held slots.
+func (l *Limiter) Inflight() int { return len(l.sem) }
+
+// Waiting reports the number of requests queued for a slot.
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }

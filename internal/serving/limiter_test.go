@@ -1,0 +1,125 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToCapacity(t *testing.T) {
+	l := NewLimiter(3, 0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-capacity acquire = %v, want ErrSaturated", err)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterQueueThenShed(t *testing.T) {
+	l := NewLimiter(1, 2)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Two waiters fit in the queue.
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := l.Acquire(ctx)
+			if err == nil {
+				l.Release()
+			}
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Waiting() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters = %d, want 2", l.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A third concurrent request overflows the queue and is shed.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("queue overflow = %v, want ErrSaturated", err)
+	}
+	l.Release()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("queued acquire failed: %v", err)
+		}
+	}
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v", err)
+	}
+	if l.Waiting() != 0 {
+		t.Fatalf("waiting = %d after cancel", l.Waiting())
+	}
+	l.Release()
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l := NewLimiter(4, 4)
+	var wg sync.WaitGroup
+	shed := 0
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := l.Acquire(context.Background())
+			if err != nil {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			if n := l.Inflight(); n > 4 {
+				t.Errorf("inflight %d exceeds cap", n)
+			}
+			time.Sleep(time.Millisecond)
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if l.Inflight() != 0 || l.Waiting() != 0 {
+		t.Fatalf("leaked slots: inflight=%d waiting=%d", l.Inflight(), l.Waiting())
+	}
+	// With 64 bursts against 8 total capacity some must be shed.
+	if shed == 0 {
+		t.Log("no shedding observed (timing-dependent); capacity invariant still held")
+	}
+}

@@ -1,0 +1,47 @@
+package serving
+
+import "sync"
+
+// Group coalesces concurrent calls with the same key into a single
+// execution: the first caller runs fn, later callers with the same key
+// block and share its result. A fresh call starts once the first
+// completes (results are not memoized — that is the cache's job).
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg   sync.WaitGroup
+	val  []byte
+	err  error
+	dups int // callers coalesced onto this call; guarded by Group.mu
+}
+
+// Do runs fn for key, deduplicating against in-flight calls. shared
+// reports whether this caller piggybacked on another call's execution
+// rather than running fn itself.
+func (g *Group) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

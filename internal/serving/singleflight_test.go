@@ -1,0 +1,104 @@
+package serving
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// dups reports how many callers are coalesced onto key's in-flight
+// call (test helper).
+func (g *Group) dupsFor(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.dups
+	}
+	return -1
+}
+
+func TestGroupCoalesces(t *testing.T) {
+	var g Group
+	var computations atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	// Leader executes fn and blocks until every follower is queued.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() ([]byte, error) {
+			computations.Add(1)
+			close(started)
+			<-block
+			return []byte("v"), nil
+		})
+		if err != nil || string(v) != "v" || shared {
+			t.Errorf("leader got %q, %v, shared=%v", v, err, shared)
+		}
+	}()
+	<-started
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() ([]byte, error) {
+				computations.Add(1)
+				return []byte("v"), nil
+			})
+			if err != nil || string(v) != "v" || !shared {
+				t.Errorf("follower got %q, %v, shared=%v", v, err, shared)
+			}
+		}()
+	}
+	// Release the leader only once all n followers are registered as
+	// duplicates, making "exactly one computation" deterministic.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.dupsFor("k") != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers queued: %d of %d", g.dupsFor("k"), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("computations = %d, want exactly 1", got)
+	}
+}
+
+func TestGroupErrorShared(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	_, err, _ := g.Do("k", func() ([]byte, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	// Errors are not memoized: the next call runs again.
+	v, err, shared := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(v) != "ok" || shared {
+		t.Fatalf("retry got %q, %v, shared=%v", v, err, shared)
+	}
+}
+
+func TestGroupDistinctKeysIndependent(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			g.Do(key, func() ([]byte, error) { n.Add(1); return nil, nil })
+		}(i)
+	}
+	wg.Wait()
+	if n.Load() != 4 {
+		t.Fatalf("distinct keys coalesced: %d computations", n.Load())
+	}
+}

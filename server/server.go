@@ -11,12 +11,25 @@
 //	/api/close?term=<t>&k=<n>&field=   offline closeness relation
 //	/api/facets?q=<query>&k=<n>        related terms grouped by field
 //	/api/stats                         dataset and graph statistics
+//	/api/metrics                       serving-layer counters and latency quantiles
 //
 // Queries use the engine's syntax: whitespace-separated terms, double
 // quotes around multi-word terms.
+//
+// # Serving layer
+//
+// With WithCache the engine sits behind a sharded LRU response cache
+// keyed on a canonical fingerprint of the parsed request (so
+// whitespace and quoting variants of the same query share an entry),
+// and concurrent identical misses are coalesced into a single engine
+// computation. With WithMaxInflight a concurrency limiter with a
+// bounded wait queue sheds excess load as 503 + Retry-After instead of
+// letting goroutines pile up. Both are off by default: a bare New(eng)
+// serves exactly as before.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +40,7 @@ import (
 	"time"
 
 	"kqr"
+	"kqr/internal/serving"
 )
 
 // Server wraps an engine with HTTP handlers. It is safe for concurrent
@@ -37,6 +51,11 @@ type Server struct {
 	datasetStats string
 	mux          *http.ServeMux
 	logger       *log.Logger
+
+	cache   *serving.Cache   // nil = response caching disabled
+	flight  serving.Group    // coalesces identical cache misses
+	limiter *serving.Limiter // nil = no concurrency bound
+	metrics *serving.Metrics
 }
 
 // Option customizes a Server.
@@ -51,6 +70,21 @@ func WithDatasetStats(stats string) Option {
 	return func(s *Server) { s.datasetStats = stats }
 }
 
+// WithCache enables the sharded response cache: up to maxBytes of
+// encoded response bodies, each entry valid for ttl (ttl <= 0 means no
+// expiry). Caching also turns on request coalescing: concurrent
+// identical misses run the engine once and share the result.
+func WithCache(maxBytes int64, ttl time.Duration) Option {
+	return func(s *Server) { s.cache = serving.NewCache(maxBytes, ttl) }
+}
+
+// WithMaxInflight bounds concurrent request execution: maxInflight
+// requests run at once, maxQueue more wait for a slot, and anything
+// beyond that is shed with 503 + Retry-After.
+func WithMaxInflight(maxInflight, maxQueue int) Option {
+	return func(s *Server) { s.limiter = serving.NewLimiter(maxInflight, maxQueue) }
+}
+
 // New builds a server around an opened engine.
 func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
@@ -60,13 +94,15 @@ func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	s.metrics = serving.NewMetrics("reformulate", "search", "similar", "close", "facets", "stats")
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/reformulate", s.wrap(s.handleReformulate))
-	mux.HandleFunc("GET /api/search", s.wrap(s.handleSearch))
-	mux.HandleFunc("GET /api/similar", s.wrap(s.handleSimilar))
-	mux.HandleFunc("GET /api/close", s.wrap(s.handleClose))
-	mux.HandleFunc("GET /api/facets", s.wrap(s.handleFacets))
-	mux.HandleFunc("GET /api/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /api/reformulate", s.wrap("reformulate", s.handleReformulate, s.keyReformulate))
+	mux.HandleFunc("GET /api/search", s.wrap("search", s.handleSearch, s.keySearch))
+	mux.HandleFunc("GET /api/similar", s.wrap("similar", s.handleSimilar, s.keySimilar))
+	mux.HandleFunc("GET /api/close", s.wrap("close", s.handleClose, s.keyClose))
+	mux.HandleFunc("GET /api/facets", s.wrap("facets", s.handleFacets, s.keyFacets))
+	mux.HandleFunc("GET /api/stats", s.wrap("stats", s.handleStats, nil))
+	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /", s.handleUI)
 	s.mux = mux
 	return s, nil
@@ -75,18 +111,52 @@ func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// ListenAndServe runs the server on addr with sane timeouts until the
-// listener fails.
-func (s *Server) ListenAndServe(addr string) error {
-	srv := &http.Server{
+// Metrics returns a point-in-time snapshot of the serving-layer
+// counters — the programmatic form of /api/metrics.
+func (s *Server) Metrics() serving.Snapshot {
+	snap := s.metrics.Snapshot()
+	if s.cache != nil {
+		snap.CacheEntries = s.cache.Len()
+		snap.CacheBytes = s.cache.Bytes()
+	}
+	return snap
+}
+
+// httpServer builds the http.Server with the standard timeouts.
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
 		Addr:              addr,
 		Handler:           s.mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
+}
+
+// ListenAndServe runs the server on addr with sane timeouts until the
+// listener fails. For graceful shutdown use Serve with a cancellable
+// context.
+func (s *Server) ListenAndServe(addr string) error {
+	return s.Serve(context.Background(), addr)
+}
+
+// Serve runs the server on addr until ctx is cancelled, then drains
+// in-flight requests via http.Server.Shutdown under a 10-second
+// timeout. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := s.httpServer(addr)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	s.logger.Printf("kqr server listening on %s", addr)
-	return srv.ListenAndServe()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logger.Printf("kqr server draining (10s grace)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
 }
 
 // apiError is the JSON error envelope.
@@ -100,13 +170,81 @@ type badRequest struct{ err error }
 
 func (b badRequest) Error() string { return b.err.Error() }
 
-// wrap adapts a JSON-producing handler: it encodes the result, maps
-// errors to status codes, and logs one line per request.
-func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
+// encodeBody marshals a response the way json.Encoder would (trailing
+// newline included) so cached and freshly computed bodies are
+// byte-identical.
+func encodeBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// wrap adapts a JSON-producing handler into the full serving stack:
+// concurrency limiting (shed with 503 + Retry-After when saturated),
+// response-cache lookup on the canonical request key, singleflight
+// coalescing of identical misses, error-to-status mapping, metrics,
+// and one log line per request. key is nil for uncacheable endpoints;
+// it returns "" when the request's parameters do not parse (the
+// handler then produces the authoritative 400).
+func (s *Server) wrap(name string, h func(r *http.Request) (any, error), key func(r *http.Request) string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		result, err := h(r)
+		em := s.metrics.Endpoint(name)
+		em.Requests.Add(1)
 		w.Header().Set("Content-Type", "application/json")
+
+		if s.limiter != nil {
+			if err := s.limiter.Acquire(r.Context()); err != nil {
+				em.Shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				body, _ := encodeBody(apiError{Error: "server saturated, retry later"})
+				w.Write(body)
+				s.logger.Printf("%s %s %d shed %v", r.Method, r.URL.RequestURI(), http.StatusServiceUnavailable, time.Since(start).Round(time.Microsecond))
+				return
+			}
+			defer s.limiter.Release()
+		}
+
+		var body []byte
+		var err error
+		ck := ""
+		if s.cache != nil && key != nil {
+			ck = key(r)
+		}
+		switch {
+		case ck == "":
+			// Uncacheable (caching off, or params did not parse).
+			body, err = s.compute(h, r)
+		default:
+			if v, ok := s.cache.Get(ck); ok {
+				em.Hits.Add(1)
+				body = v
+				break
+			}
+			var shared bool
+			body, err, shared = s.flight.Do(ck, func() ([]byte, error) {
+				// Double-check: this caller may have missed the cache
+				// before a previous flight for the same key completed
+				// and published its result.
+				if v, ok := s.cache.Get(ck); ok {
+					return v, nil
+				}
+				em.Misses.Add(1)
+				b, herr := s.compute(h, r)
+				if herr != nil {
+					return nil, herr
+				}
+				s.cache.Put(ck, b)
+				return b, nil
+			})
+			if shared {
+				em.Coalesced.Add(1)
+			}
+		}
+
 		status := http.StatusOK
 		if err != nil {
 			var br badRequest
@@ -115,13 +253,34 @@ func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
 			} else {
 				status = http.StatusInternalServerError
 			}
+			em.Errors.Add(1)
+			body, _ = encodeBody(apiError{Error: err.Error()})
 			w.WriteHeader(status)
-			result = apiError{Error: err.Error()}
 		}
-		if encodeErr := json.NewEncoder(w).Encode(result); encodeErr != nil {
-			s.logger.Printf("%s %s: encode: %v", r.Method, r.URL.Path, encodeErr)
+		if _, werr := w.Write(body); werr != nil {
+			s.logger.Printf("%s %s: write: %v", r.Method, r.URL.Path, werr)
 		}
+		em.Latency.Observe(time.Since(start))
 		s.logger.Printf("%s %s %d %v", r.Method, r.URL.RequestURI(), status, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// compute runs the handler and encodes its result.
+func (s *Server) compute(h func(r *http.Request) (any, error), r *http.Request) ([]byte, error) {
+	result, err := h(r)
+	if err != nil {
+		return nil, err
+	}
+	return encodeBody(result)
+}
+
+// handleMetrics serves the serving-layer snapshot. It deliberately
+// bypasses the limiter and cache: a saturated server must still answer
+// its own health questions.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Metrics()); err != nil {
+		s.logger.Printf("%s %s: encode: %v", r.Method, r.URL.Path, err)
 	}
 }
 
@@ -161,6 +320,72 @@ func termParam(r *http.Request) (string, error) {
 		return "", badRequest{fmt.Errorf("missing term parameter")}
 	}
 	return t, nil
+}
+
+// Cache-key builders. Each parses the same parameters as its handler;
+// parsing doubles as canonicalization (whitespace and quoting variants
+// of a query produce identical term slices, k is clamped to its
+// effective value). A return of "" means "do not cache" and leaves
+// error reporting to the handler.
+
+func (s *Server) keyReformulate(r *http.Request) string {
+	terms, err := queryParam(r)
+	if err != nil {
+		return ""
+	}
+	k, err := kParam(r, 5, 50)
+	if err != nil {
+		return ""
+	}
+	return serving.Key("reformulate", terms, "k="+strconv.Itoa(k))
+}
+
+func (s *Server) keySearch(r *http.Request) string {
+	terms, err := queryParam(r)
+	if err != nil {
+		return ""
+	}
+	if _, err := kParam(r, 1, 1); err != nil {
+		return ""
+	}
+	return serving.Key("search", terms)
+}
+
+func (s *Server) keySimilar(r *http.Request) string {
+	term, err := termParam(r)
+	if err != nil {
+		return ""
+	}
+	k, err := kParam(r, 10, 64)
+	if err != nil {
+		return ""
+	}
+	return serving.Key("similar", []string{term}, "k="+strconv.Itoa(k))
+}
+
+func (s *Server) keyClose(r *http.Request) string {
+	term, err := termParam(r)
+	if err != nil {
+		return ""
+	}
+	k, err := kParam(r, 10, 64)
+	if err != nil {
+		return ""
+	}
+	return serving.Key("close", []string{term},
+		"k="+strconv.Itoa(k), "field="+r.URL.Query().Get("field"))
+}
+
+func (s *Server) keyFacets(r *http.Request) string {
+	terms, err := queryParam(r)
+	if err != nil {
+		return ""
+	}
+	k, err := kParam(r, 5, 20)
+	if err != nil {
+		return ""
+	}
+	return serving.Key("facets", terms, "k="+strconv.Itoa(k))
 }
 
 // reformulateResponse is the /api/reformulate payload.
@@ -207,6 +432,11 @@ type searchResponse struct {
 func (s *Server) handleSearch(r *http.Request) (any, error) {
 	terms, err := queryParam(r)
 	if err != nil {
+		return nil, err
+	}
+	// Search takes no k, but a malformed one is still a client error
+	// rather than silently ignored.
+	if _, err := kParam(r, 1, 1); err != nil {
 		return nil, err
 	}
 	results, total, err := s.eng.Search(terms)

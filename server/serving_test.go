@@ -1,0 +1,414 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unicode"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+// servingServer builds a test server with the full serving stack on.
+func servingServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: 11, Topics: 4, Confs: 8, Authors: 60, Papers: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts = append([]Option{WithLogger(log.New(io.Discard, "", 0))}, opts...)
+	srv, err := New(eng, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestCacheHitsAcrossEquivalentSpellings(t *testing.T) {
+	srv, ts := servingServer(t, WithCache(1<<20, time.Minute))
+	// The same query in three spellings: plain, extra whitespace,
+	// quoted single-word terms. All share one cache entry.
+	spellings := []string{
+		"probabilistic ranking",
+		"  probabilistic \t ranking ",
+		`"probabilistic" "ranking"`,
+	}
+	var bodies []string
+	for _, q := range spellings {
+		resp, err := http.Get(ts.URL + "/api/reformulate?q=" + url.QueryEscape(q) + "&k=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q -> %d: %s", q, resp.StatusCode, b)
+		}
+		bodies = append(bodies, string(b))
+	}
+	if bodies[0] != bodies[1] || bodies[0] != bodies[2] {
+		t.Fatal("equivalent spellings returned different bodies")
+	}
+	snap := srv.Metrics()
+	em := snap.Endpoints["reformulate"]
+	if em.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (one computation for three spellings)", em.Misses)
+	}
+	if em.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", em.Hits)
+	}
+	if snap.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", snap.CacheEntries)
+	}
+}
+
+func TestCacheDistinguishesOptions(t *testing.T) {
+	srv, ts := servingServer(t, WithCache(1<<20, time.Minute))
+	for _, u := range []string{
+		"/api/reformulate?q=probabilistic&k=3",
+		"/api/reformulate?q=probabilistic&k=5",
+		"/api/similar?term=probabilistic&k=5",
+		"/api/close?term=probabilistic&k=5",
+		"/api/close?term=probabilistic&k=5&field=conferences.name",
+	} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", u, resp.StatusCode)
+		}
+	}
+	if n := srv.Metrics().CacheEntries; n != 5 {
+		t.Fatalf("cache entries = %d, want 5 distinct", n)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	srv, ts := servingServer(t, WithCache(1<<20, time.Minute))
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/api/reformulate?q=zzznotaword")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	}
+	if n := srv.Metrics().CacheEntries; n != 0 {
+		t.Fatalf("error responses cached: %d entries", n)
+	}
+}
+
+// TestCoalescing sends N concurrent identical requests against a cold
+// cache and asserts exactly one engine computation happened: the rest
+// were coalesced onto the in-flight call or served from the cache the
+// leader populated. Run with -race this also exercises the whole
+// stack's concurrency safety.
+func TestCoalescing(t *testing.T) {
+	srv, ts := servingServer(t, WithCache(1<<20, time.Minute))
+	const n = 24
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(ts.URL + "/api/reformulate?q=probabilistic+ranking&k=5")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	em := srv.Metrics().Endpoints["reformulate"]
+	if em.Misses != 1 {
+		t.Fatalf("engine computations = %d, want exactly 1 for %d concurrent identical requests", em.Misses, n)
+	}
+	if em.Requests != n {
+		t.Fatalf("requests = %d, want %d", em.Requests, n)
+	}
+	if em.Hits+em.Coalesced == 0 {
+		t.Fatal("no request hit the cache or coalesced")
+	}
+}
+
+// TestLoadShedding fills the limiter from inside (tests live in
+// package server) and verifies an incoming request is shed with 503
+// and a Retry-After hint, then admitted again after release.
+func TestLoadShedding(t *testing.T) {
+	srv, ts := servingServer(t, WithMaxInflight(1, 0))
+	// Occupy the only execution slot.
+	if err := srv.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/api/reformulate?q=probabilistic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 missing Retry-After header")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("503 content type %q", ct)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("503 body not a JSON error envelope: %v", err)
+	}
+	if got := srv.Metrics().Endpoints["reformulate"].Shed; got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	// After releasing the slot requests flow again.
+	srv.limiter.Release()
+	resp2, err := http.Get(ts.URL + "/api/reformulate?q=probabilistic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d", resp2.StatusCode)
+	}
+	// /api/metrics bypasses the limiter: re-saturate and probe it.
+	if err := srv.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.limiter.Release()
+	resp3, err := http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("metrics under saturation = %d, want 200", resp3.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := servingServer(t, WithCache(1<<20, time.Minute))
+	// Generate one miss and one hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/api/reformulate?q=probabilistic&k=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		CacheEntries  int     `json:"cache_entries"`
+		Endpoints     map[string]struct {
+			Requests  int64   `json:"requests"`
+			Hits      int64   `json:"hits"`
+			Misses    int64   `json:"misses"`
+			P50Millis float64 `json:"p50_ms"`
+			P99Millis float64 `json:"p99_ms"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	em, ok := snap.Endpoints["reformulate"]
+	if !ok {
+		t.Fatalf("metrics missing reformulate endpoint: %+v", snap)
+	}
+	if em.Requests != 2 || em.Misses != 1 || em.Hits != 1 {
+		t.Fatalf("metrics counters %+v", em)
+	}
+	if em.P50Millis <= 0 || em.P99Millis < em.P50Millis {
+		t.Fatalf("quantiles p50=%v p99=%v", em.P50Millis, em.P99Millis)
+	}
+	if snap.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d", snap.CacheEntries)
+	}
+	// Every registered endpoint appears even when idle.
+	for _, name := range []string{"search", "similar", "close", "facets", "stats"} {
+		if _, ok := snap.Endpoints[name]; !ok {
+			t.Fatalf("metrics missing idle endpoint %q", name)
+		}
+	}
+}
+
+// TestBadParams is the table-driven sweep of malformed k/q/term over
+// every endpoint: all must answer 400 with a JSON error envelope, and
+// every response carries the JSON Content-Type.
+func TestBadParams(t *testing.T) {
+	_, ts := servingServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/api/reformulate", http.StatusBadRequest},
+		{"/api/reformulate?q=%22unbalanced", http.StatusBadRequest},
+		{"/api/reformulate?q=probabilistic&k=junk", http.StatusBadRequest},
+		{"/api/reformulate?q=probabilistic&k=0", http.StatusBadRequest},
+		{"/api/reformulate?q=probabilistic&k=-3", http.StatusBadRequest},
+		{"/api/reformulate?q=probabilistic&k=99999999999999999999", http.StatusBadRequest},
+		{"/api/search", http.StatusBadRequest},
+		{"/api/search?q=%22unbalanced", http.StatusBadRequest},
+		{"/api/search?q=probabilistic&k=junk", http.StatusBadRequest},
+		{"/api/search?q=probabilistic&k=0", http.StatusBadRequest},
+		{"/api/similar", http.StatusBadRequest},
+		{"/api/similar?term=", http.StatusBadRequest},
+		{"/api/similar?term=probabilistic&k=junk", http.StatusBadRequest},
+		{"/api/similar?term=probabilistic&k=-1", http.StatusBadRequest},
+		{"/api/close", http.StatusBadRequest},
+		{"/api/close?term=probabilistic&k=junk", http.StatusBadRequest},
+		{"/api/close?term=probabilistic&k=0", http.StatusBadRequest},
+		{"/api/facets", http.StatusBadRequest},
+		{"/api/facets?q=%22unbalanced", http.StatusBadRequest},
+		{"/api/facets?q=probabilistic&k=junk", http.StatusBadRequest},
+		{"/api/facets?q=probabilistic&k=0", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.path, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Fatalf("%s -> %d, want %d", c.path, resp.StatusCode, c.want)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("%s content type %q", c.path, ct)
+			}
+			var envelope struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+				t.Fatalf("%s: error envelope = %+v, %v", c.path, envelope, err)
+			}
+		})
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, _ := servingServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, "127.0.0.1:0") }()
+	// Give the listener a moment to come up, then trigger shutdown.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	// A bad address surfaces the listen error.
+	if err := srv.Serve(context.Background(), "256.256.256.256:bad"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+// FuzzCacheKeyCanonical asserts the canonicalization contract of the
+// cache fingerprint: query spellings that parse to the same terms
+// (whitespace runs, tab separators, quoted single words) produce the
+// same key, different k produces a different key, and appending a term
+// produces a different key.
+func FuzzCacheKeyCanonical(f *testing.F) {
+	f.Add("probabilistic", "ranking", 5)
+	f.Add("xml", "semi-structured", 10)
+	f.Add("a", "b", 1)
+	s := &Server{}
+	f.Fuzz(func(t *testing.T, t1, t2 string, k int) {
+		// Strip quotes and every whitespace rune so the fuzzed terms
+		// are single tokens under the engine's query syntax.
+		clean := func(x string) string {
+			return strings.Map(func(r rune) rune {
+				if r == '"' || unicode.IsSpace(r) {
+					return -1
+				}
+				return r
+			}, x)
+		}
+		t1, t2 = clean(t1), clean(t2)
+		if t1 == "" || t2 == "" {
+			t.Skip()
+		}
+		if k < 1 {
+			k = -k + 1
+		}
+		keyFor := func(q string, k int) string {
+			u := "/api/reformulate?q=" + url.QueryEscape(q) + "&k=" + fmt.Sprint(k)
+			r := httptest.NewRequest("GET", u, nil)
+			return s.keyReformulate(r)
+		}
+		base := keyFor(t1+" "+t2, k)
+		if base == "" {
+			t.Skip() // k overflowed int parsing
+		}
+		for _, variant := range []string{
+			t1 + "  " + t2,
+			" " + t1 + "\t" + t2 + " ",
+			`"` + t1 + `" ` + t2,
+			t1 + ` "` + t2 + `"`,
+		} {
+			if got := keyFor(variant, k); got != base {
+				t.Fatalf("spelling %q key %q != base %q", variant, got, base)
+			}
+		}
+		// Distinct options and distinct structure never collide.
+		if k < 50 { // below the clamp, k is part of the key
+			if keyFor(t1+" "+t2, k+1) == base {
+				t.Fatal("different k collided")
+			}
+		}
+		if keyFor(t1+" "+t2+" "+t2, k) == base {
+			t.Fatal("extra term collided")
+		}
+		if keyFor(t1+t2, k) == base && t1+t2 != t1+" "+t2 {
+			// Joined terms must differ from the two-term form.
+			t.Fatal("joined terms collided")
+		}
+	})
+}
