@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline fuzz experiments demo clean
 
 all: check
 
@@ -32,9 +32,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Offline precompute scaling: worker sweep over the parallel
+# randomwalk/closeness precompute, written as BENCH_offline.json.
+bench-offline:
+	$(GO) run ./cmd/kqr-bench -exp offline -json BENCH_offline.json
+	$(GO) test -bench=Benchmark_PrecomputeParallel -benchmem ./internal/randomwalk/
+
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s .
+	$(GO) test -fuzz=FuzzSuggestionString -fuzztime=20s .
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=20s ./internal/textindex/
 	$(GO) test -fuzz=FuzzKeyInjective -fuzztime=20s ./internal/serving/
 	$(GO) test -fuzz=FuzzCacheKeyCanonical -fuzztime=20s ./server/

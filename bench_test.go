@@ -19,6 +19,7 @@ import (
 
 	"kqr/internal/dblpgen"
 	"kqr/internal/experiments"
+	"kqr/internal/flight"
 	"kqr/internal/hmm"
 	"kqr/internal/randomwalk"
 	"kqr/internal/serving"
@@ -420,7 +421,7 @@ func Benchmark_ServingCache(b *testing.B) {
 	})
 
 	b.Run("coalesced", func(b *testing.B) {
-		var g serving.Group
+		var g flight.Group[string, []byte]
 		key := serving.Key("reformulate", query, "k=5")
 		b.ReportAllocs()
 		b.ResetTimer()

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -32,18 +32,19 @@ func main() {
 		reps    = flag.Int("reps", 3, "timing repetitions")
 		seeds   = flag.Int("seeds", 1, "query seeds for fig5 (>1 reports mean±std)")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
+		jsonOut = flag.String("json", "", "write offline scaling data as JSON to this file (with -exp offline)")
 	)
 	flag.Parse()
 
 	if err := run(*exp, dblpgen.Config{
 		Seed: *seed, Topics: *topics, Confs: *confs, Authors: *authors, Papers: *papers,
-	}, *n, experiments.TimingConfig{QueriesPerPoint: *queries, Reps: *reps}, *seeds, *csvDir); err != nil {
+	}, *n, experiments.TimingConfig{QueriesPerPoint: *queries, Reps: *reps}, *seeds, *csvDir, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, fig5Seeds int, csvDir string) error {
+func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, fig5Seeds int, csvDir, jsonOut string) error {
 	writeCSV := func(name string, write func(w *os.File) error) error {
 		if csvDir == "" {
 			return nil
@@ -189,6 +190,25 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 			return fmt.Errorf("ablation: %w", err)
 		}
 	}
+	if exp == "offline" {
+		ran = true
+		rows, err := s.OfflineScaling(experiments.DefaultOfflineWorkerCounts(), 64)
+		if err != nil {
+			return fmt.Errorf("offline: %w", err)
+		}
+		fmt.Println(experiments.RenderOffline(rows))
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteOfflineJSON(f, s.TG, rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote", jsonOut)
+		}
+	}
 	if exp == "synonyms" || exp == "all" {
 		ran = true
 		rows, err := s.SynonymRecall(64)
@@ -198,12 +218,11 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10 or table3)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation or offline)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
-
 
 // runAblations prints the DESIGN.md §6 ablations: preference mode,
 // smoothing weight, and closeness beam.

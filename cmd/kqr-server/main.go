@@ -6,9 +6,13 @@
 //	curl 'localhost:8080/api/facets?q=probabilistic'
 //	curl 'localhost:8080/api/metrics'
 //
-// With -relations the offline stage for the whole title vocabulary is
+// With -relations the offline stage for the topic vocabulary is
 // precomputed at startup (and cached to the given file across restarts),
-// trading startup time for uniformly warm query latency.
+// trading startup time for uniformly warm query latency. With -warm the
+// offline stage runs for the *entire* term vocabulary before the
+// listener opens — similarity and closeness for every term node, fanned
+// out over -precompute-workers goroutines (default GOMAXPROCS) — so no
+// request ever pays first-touch walk latency.
 //
 // The serving layer defaults to production posture: a 64 MB response
 // cache with a 5-minute TTL plus request coalescing (-cache-mb 0
@@ -39,25 +43,27 @@ func main() {
 		seed        = flag.Int64("seed", 20120401, "corpus seed")
 		papers      = flag.Int("papers", 3000, "corpus size in papers")
 		relations   = flag.String("relations", "", "path for cached precomputed relations (optional)")
+		warm        = flag.Bool("warm", false, "precompute similarity+closeness for the whole vocabulary before serving")
+		warmWorkers = flag.Int("precompute-workers", 0, "offline precompute worker pool size (0 = GOMAXPROCS)")
 		cacheMB     = flag.Int("cache-mb", 64, "response cache size in MiB (0 disables caching and coalescing)")
 		cacheTTL    = flag.Duration("cache-ttl", 5*time.Minute, "response cache entry TTL (0 = no expiry)")
 		maxInflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently executing requests (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for an execution slot before shedding")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *papers, *relations, *cacheMB, *cacheTTL, *maxInflight, *maxQueue); err != nil {
+	if err := run(*addr, *seed, *papers, *relations, *warm, *warmWorkers, *cacheMB, *cacheTTL, *maxInflight, *maxQueue); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, papers int, relationsPath string, cacheMB int, cacheTTL time.Duration, maxInflight, maxQueue int) error {
+func run(addr string, seed int64, papers int, relationsPath string, warm bool, warmWorkers, cacheMB int, cacheTTL time.Duration, maxInflight, maxQueue int) error {
 	fmt.Println("building corpus and TAT graph...")
 	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: seed, Papers: papers})
 	if err != nil {
 		return err
 	}
-	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{PrecomputeWorkers: warmWorkers})
 	if err != nil {
 		return err
 	}
@@ -67,6 +73,18 @@ func run(addr string, seed int64, papers int, relationsPath string, cacheMB int,
 		if err := loadOrPrecompute(eng, corpus, relationsPath); err != nil {
 			return err
 		}
+	}
+	if warm {
+		workers := warmWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("warming offline caches for the full vocabulary (%d workers)...\n", workers)
+		start := time.Now()
+		if err := eng.Warm(context.Background()); err != nil {
+			return err
+		}
+		fmt.Printf("offline caches hot in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	opts := []server.Option{server.WithDatasetStats(corpus.Dataset.Stats())}

@@ -3,6 +3,7 @@ package kqr
 import (
 	"fmt"
 	"strings"
+	"unicode"
 
 	"kqr/internal/closeness"
 	"kqr/internal/cooccur"
@@ -88,6 +89,11 @@ type Options struct {
 	// FoldPlurals folds regular English plurals onto their singular
 	// during tokenization ("queries" and "query" share one term node).
 	FoldPlurals bool
+	// PrecomputeWorkers bounds the goroutines the offline stage
+	// (Warm, PrecomputeTerms) fans out over; <= 0 means
+	// runtime.GOMAXPROCS(0). Per-term extraction is independent, so
+	// precompute throughput scales with cores.
+	PrecomputeWorkers int
 }
 
 // Engine is the opened reformulation system: the TAT graph plus the
@@ -122,17 +128,24 @@ func Open(d *Dataset, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	var sim core.SimilarityProvider
+	walkOpts := randomwalk.Options{Damping: opts.Damping, Workers: opts.PrecomputeWorkers}
 	switch opts.Similarity {
 	case ContextualWalk:
-		sim = randomwalk.NewExtractor(tg, randomwalk.Contextual, randomwalk.Options{Damping: opts.Damping})
+		sim = randomwalk.NewExtractor(tg, randomwalk.Contextual, walkOpts)
 	case IndividualWalk:
-		sim = randomwalk.NewExtractor(tg, randomwalk.Individual, randomwalk.Options{Damping: opts.Damping})
+		sim = randomwalk.NewExtractor(tg, randomwalk.Individual, walkOpts)
 	case Cooccurrence:
-		sim = cooccur.NewExtractor(tg)
+		co := cooccur.NewExtractor(tg)
+		co.Workers = opts.PrecomputeWorkers
+		sim = co
 	default:
 		return nil, fmt.Errorf("kqr: unknown similarity mode %d", int(opts.Similarity))
 	}
-	clos, err := closeness.New(tg, closeness.Options{MaxLen: opts.ClosenessMaxLen, Beam: opts.ClosenessBeam})
+	clos, err := closeness.New(tg, closeness.Options{
+		MaxLen:  opts.ClosenessMaxLen,
+		Beam:    opts.ClosenessBeam,
+		Workers: opts.PrecomputeWorkers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -168,17 +181,37 @@ type Suggestion struct {
 	Score float64
 }
 
-// String joins the terms, quoting multi-word ones.
+// String joins the terms into a query ParseQuery accepts: terms
+// containing whitespace (any Unicode whitespace, not just spaces) or
+// double quotes are wrapped in double quotes, with embedded quotes and
+// backslashes backslash-escaped. For non-empty terms without leading or
+// trailing whitespace — every term the engine produces —
+// ParseQuery(s.String()) recovers s.Terms exactly.
 func (s Suggestion) String() string {
 	parts := make([]string, len(s.Terms))
 	for i, t := range s.Terms {
-		if strings.ContainsRune(t, ' ') {
-			parts[i] = `"` + t + `"`
-		} else {
-			parts[i] = t
-		}
+		parts[i] = quoteTerm(t)
 	}
 	return strings.Join(parts, " ")
+}
+
+// quoteTerm renders one term for String, quoting and escaping whenever
+// the bare text would parse differently.
+func quoteTerm(t string) string {
+	if t != "" && !strings.ContainsFunc(t, unicode.IsSpace) && !strings.Contains(t, `"`) {
+		return t
+	}
+	var b strings.Builder
+	b.Grow(len(t) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(t); i++ {
+		if t[i] == '"' || t[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(t[i])
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // Reformulate suggests up to k substitutive queries for the given query
@@ -301,25 +334,31 @@ func (e *Engine) GraphStats() string {
 		e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges(), e.tg.CSR().NumComponents())
 }
 
-// ParseQuery splits a query string into terms: whitespace separates,
-// double quotes group multi-word terms ("christian s. jensen" spatial).
+// ParseQuery splits a query string into terms: any Unicode whitespace
+// separates (newlines and carriage returns included, matching the
+// TrimSpace normalization around terms), and double quotes group
+// multi-word terms ("christian s. jensen" spatial). Inside quotes a
+// backslash escapes a double quote or another backslash, so quoted
+// terms produced by Suggestion.String — including terms that themselves
+// contain quotes — parse back exactly; any other backslash is literal.
+// Quoted terms are trimmed of surrounding whitespace; a quoted term
+// that is empty after trimming is dropped.
 func ParseQuery(query string) ([]string, error) {
 	var terms []string
 	rest := strings.TrimSpace(query)
 	for rest != "" {
 		if rest[0] == '"' {
-			end := strings.IndexByte(rest[1:], '"')
-			if end < 0 {
+			term, tail, ok := parseQuotedTerm(rest)
+			if !ok {
 				return nil, fmt.Errorf("kqr: unbalanced quote in query %q", query)
 			}
-			term := strings.TrimSpace(rest[1 : 1+end])
 			if term != "" {
 				terms = append(terms, term)
 			}
-			rest = strings.TrimSpace(rest[1+end+1:])
+			rest = strings.TrimSpace(tail)
 			continue
 		}
-		sp := strings.IndexAny(rest, " \t")
+		sp := strings.IndexFunc(rest, unicode.IsSpace)
 		if sp < 0 {
 			terms = append(terms, rest)
 			break
@@ -331,6 +370,29 @@ func ParseQuery(query string) ([]string, error) {
 		return nil, fmt.Errorf("kqr: empty query")
 	}
 	return terms, nil
+}
+
+// parseQuotedTerm decodes the double-quoted term opening at rest[0],
+// returning the trimmed term text and the remainder after the closing
+// quote. ok is false when the quote never closes.
+func parseQuotedTerm(rest string) (term, tail string, ok bool) {
+	var b strings.Builder
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if i+1 < len(rest) && (rest[i+1] == '"' || rest[i+1] == '\\') {
+				b.WriteByte(rest[i+1])
+				i++
+				continue
+			}
+			b.WriteByte('\\')
+		case '"':
+			return strings.TrimSpace(b.String()), rest[i+1:], true
+		default:
+			b.WriteByte(rest[i])
+		}
+	}
+	return "", "", false
 }
 
 // SlotExplanation breaks down why one slot of a suggestion was chosen:

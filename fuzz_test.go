@@ -8,12 +8,15 @@ import (
 )
 
 // FuzzParseQuery checks the query parser never panics, never returns
-// empty terms, and round-trips the terms it produces (re-quoting any
-// multi-word term parses back to the same list).
+// empty or whitespace-padded terms, and that every term list it
+// produces survives Suggestion.String → ParseQuery unchanged (the
+// serializer quotes and escapes whatever the parser can emit).
 func FuzzParseQuery(f *testing.F) {
 	for _, seed := range []string{
 		`a b c`, `"x y" z`, `"unbalanced`, `""`, `   `, `"a" "b c" d`,
 		`tab	separated`, `"nested "quotes" here"`, `q"uote in the middle`,
+		"newline\nseparated", "\"multi\nline term\"", `"escaped \" quote"`,
+		`"back\\slash" \`, " nbsp ",
 	} {
 		f.Add(seed)
 	}
@@ -25,23 +28,15 @@ func FuzzParseQuery(f *testing.F) {
 		if len(terms) == 0 {
 			t.Fatalf("ParseQuery(%q) returned no terms without error", input)
 		}
-		var rebuilt []string
 		for _, term := range terms {
 			if term == "" {
 				t.Fatalf("ParseQuery(%q) produced an empty term", input)
 			}
-			if strings.ContainsRune(term, '"') {
-				// A quote inside a term cannot round-trip through the
-				// quoting syntax; skip the round-trip check for it.
-				return
-			}
-			if strings.ContainsAny(term, " \t") {
-				rebuilt = append(rebuilt, `"`+term+`"`)
-			} else {
-				rebuilt = append(rebuilt, term)
+			if strings.TrimSpace(term) != term {
+				t.Fatalf("ParseQuery(%q) produced padded term %q", input, term)
 			}
 		}
-		again, err := kqr.ParseQuery(strings.Join(rebuilt, " "))
+		again, err := kqr.ParseQuery(kqr.Suggestion{Terms: terms}.String())
 		if err != nil {
 			t.Fatalf("round-trip of %q failed: %v", input, err)
 		}
@@ -51,6 +46,40 @@ func FuzzParseQuery(f *testing.F) {
 		for i := range terms {
 			if again[i] != terms[i] {
 				t.Fatalf("round-trip of %q: term %d %q vs %q", input, i, again[i], terms[i])
+			}
+		}
+	})
+}
+
+// FuzzSuggestionString approaches the round-trip from the other side:
+// arbitrary term lists (filtered to the engine's invariant of
+// non-empty, untrimmed-equal terms) must survive String → ParseQuery.
+func FuzzSuggestionString(f *testing.F) {
+	f.Add("alice ames", "probabilistic", "x")
+	f.Add(`he said "hi"`, "new\nline", `back\slash`)
+	f.Add(`"`, `\`, `\"`)
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		var terms []string
+		for _, term := range []string{a, b, c} {
+			if term == "" || strings.TrimSpace(term) != term {
+				continue
+			}
+			terms = append(terms, term)
+		}
+		if len(terms) == 0 {
+			return
+		}
+		q := kqr.Suggestion{Terms: terms}.String()
+		got, err := kqr.ParseQuery(q)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q) for terms %q: %v", q, terms, err)
+		}
+		if len(got) != len(terms) {
+			t.Fatalf("round-trip of %q via %q: got %q", terms, q, got)
+		}
+		for i := range terms {
+			if got[i] != terms[i] {
+				t.Fatalf("round-trip of %q via %q: term %d = %q", terms, q, i, got[i])
 			}
 		}
 	})

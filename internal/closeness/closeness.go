@@ -23,10 +23,13 @@
 package closeness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"kqr/internal/flight"
 	"kqr/internal/graph"
 	"kqr/internal/tatgraph"
 )
@@ -41,6 +44,9 @@ type Options struct {
 	// unlimited). Pruning bounds work on hub-heavy graphs at the cost
 	// of exactness, mirroring the paper's "prune less frequent".
 	Beam int
+	// Workers bounds the goroutines used by Precompute's offline
+	// fan-out (<= 0 means runtime.GOMAXPROCS(0)).
+	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -56,14 +62,18 @@ func (o Options) withDefaults() (Options, error) {
 	return o, nil
 }
 
-// Store computes and caches closeness vectors per source node. It is
-// safe for concurrent use.
+// Store computes and caches closeness vectors per source node.
+// Concurrent cold misses for the same source are coalesced into a
+// single search. It is safe for concurrent use.
 type Store struct {
 	tg   *tatgraph.Graph
 	opts Options
 
 	mu    sync.Mutex
 	cache map[graph.NodeID]map[graph.NodeID]float64
+
+	flight   flight.Group[graph.NodeID, map[graph.NodeID]float64]
+	searches atomic.Int64 // searches actually executed (cold misses)
 }
 
 // New builds a closeness store over a TAT graph.
@@ -86,16 +96,33 @@ func (s *Store) From(v graph.NodeID) map[graph.NodeID]float64 {
 	}
 	s.mu.Unlock()
 
-	m := s.search(v)
-
-	s.mu.Lock()
-	s.cache[v] = m
-	s.mu.Unlock()
+	// Coalesce concurrent cold misses for v: the first caller runs the
+	// search, the rest block and share its result.
+	m, _, _ := s.flight.Do(v, func() (map[graph.NodeID]float64, error) {
+		// Re-check: this caller may have missed the cache before a
+		// previous flight for v completed and published.
+		s.mu.Lock()
+		m, ok := s.cache[v]
+		s.mu.Unlock()
+		if ok {
+			return m, nil
+		}
+		m = s.search(v)
+		s.mu.Lock()
+		s.cache[v] = m
+		s.mu.Unlock()
+		return m, nil
+	})
 	return m
 }
 
+// Searches returns how many path searches have actually executed —
+// cold misses, excluding cache hits and coalesced callers.
+func (s *Store) Searches() int64 { return s.searches.Load() }
+
 // search runs the layered shortest-path counting from v.
 func (s *Store) search(v graph.NodeID) map[graph.NodeID]float64 {
+	s.searches.Add(1)
 	type layerEntry struct {
 		node  graph.NodeID
 		count float64
@@ -194,10 +221,19 @@ func (s *Store) CloseTerms(v graph.NodeID, k int, class string) []graph.Scored {
 }
 
 // Precompute warms the cache for the given sources (the offline stage).
-func (s *Store) Precompute(nodes []graph.NodeID) {
-	for _, v := range nodes {
-		s.From(v)
-	}
+// Sources fan out over a worker pool of Options.Workers goroutines
+// (default runtime.GOMAXPROCS(0)) — searches are independent per
+// source, so throughput scales with cores. The path search itself
+// cannot fail, so the only error is a ctx cancellation, wrapped with
+// the node the pool stopped at so partial warms are diagnosable.
+func (s *Store) Precompute(ctx context.Context, nodes []graph.NodeID) error {
+	return flight.ForEach(ctx, s.opts.Workers, len(nodes), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("closeness: precompute node %d: %w", nodes[i], err)
+		}
+		s.From(nodes[i])
+		return nil
+	})
 }
 
 // Snapshot copies the cached closeness vectors for persistence.

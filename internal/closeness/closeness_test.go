@@ -1,6 +1,7 @@
 package closeness
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -229,7 +230,9 @@ func TestBeamPruningStillFindsHeavyPaths(t *testing.T) {
 func TestPrecomputeWarmsCache(t *testing.T) {
 	tg, s := fixtureStore(t, Options{})
 	u := term(t, tg, "papers.title", "uncertain")
-	s.Precompute([]graph.NodeID{u})
+	if err := s.Precompute(context.Background(), []graph.NodeID{u}); err != nil {
+		t.Fatal(err)
+	}
 	m1 := s.From(u)
 	m2 := s.From(u)
 	if &m1 == &m2 {

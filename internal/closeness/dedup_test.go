@@ -1,0 +1,80 @@
+package closeness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"kqr/internal/graph"
+)
+
+// TestConcurrentColdMissSingleSearch hammers one cold source from many
+// goroutines and asserts exactly one path search executed: overlapping
+// misses coalesce onto the first caller's search, stragglers hit the
+// cache. Run with -race to also prove the shared-map handoff is sound.
+func TestConcurrentColdMissSingleSearch(t *testing.T) {
+	tg, s := fixtureStore(t, Options{})
+	u := term(t, tg, "papers.title", "uncertain")
+
+	const n = 32
+	start := make(chan struct{})
+	results := make([]map[graph.NodeID]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = s.From(u)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := s.Searches(); got != 1 {
+		t.Fatalf("%d concurrent cold misses ran %d searches, want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("caller %d saw a different result than caller 0", i)
+		}
+	}
+}
+
+// TestPrecomputeParallel warms several sources through the worker pool
+// and checks each ran exactly once and is served from cache afterwards.
+func TestPrecomputeParallel(t *testing.T) {
+	tg, s := fixtureStore(t, Options{Workers: 8})
+	nodes := []graph.NodeID{
+		term(t, tg, "papers.title", "uncertain"),
+		term(t, tg, "papers.title", "probabilistic"),
+		term(t, tg, "papers.title", "xml"),
+	}
+	if err := s.Precompute(context.Background(), nodes); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Searches(); got != int64(len(nodes)) {
+		t.Fatalf("precompute ran %d searches for %d nodes", got, len(nodes))
+	}
+	s.From(nodes[0])
+	if got := s.Searches(); got != int64(len(nodes)) {
+		t.Fatal("warm lookup re-ran the search")
+	}
+}
+
+// TestPrecomputeCancelled proves a cancelled context surfaces as a
+// node-annotated context error instead of a silent partial warm.
+func TestPrecomputeCancelled(t *testing.T) {
+	tg, s := fixtureStore(t, Options{})
+	u := term(t, tg, "papers.title", "uncertain")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Precompute(ctx, []graph.NodeID{u})
+	if err == nil {
+		t.Fatal("cancelled precompute returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -10,9 +10,13 @@
 package cooccur
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"kqr/internal/flight"
 	"kqr/internal/graph"
 	"kqr/internal/tatgraph"
 )
@@ -25,12 +29,22 @@ import (
 const maxDepth = 4
 
 // Extractor ranks same-class terms by local co-occurrence counts. It
-// caches per-source results and is safe for concurrent use.
+// caches per-source results, coalesces concurrent cold misses for the
+// same source into a single computation, and is safe for concurrent
+// use.
 type Extractor struct {
 	tg *tatgraph.Graph
 
+	// Workers bounds the goroutines used by Precompute's offline
+	// fan-out (<= 0 means runtime.GOMAXPROCS(0)). Set it before any
+	// concurrent use.
+	Workers int
+
 	mu    sync.Mutex
 	cache map[graph.NodeID][]graph.Scored
+
+	flight   flight.Group[graph.NodeID, []graph.Scored]
+	extracts atomic.Int64 // extractions actually executed (cold misses)
 }
 
 // NewExtractor builds a co-occurrence extractor over a TAT graph.
@@ -54,15 +68,46 @@ func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error)
 	cached, ok := e.cache[t0]
 	e.mu.Unlock()
 	if !ok {
-		cached = e.extract(t0)
-		e.mu.Lock()
-		e.cache[t0] = cached
-		e.mu.Unlock()
+		// Coalesce concurrent cold misses for t0: the first caller
+		// runs the extraction, the rest block and share its result.
+		cached, _, _ = e.flight.Do(t0, func() ([]graph.Scored, error) {
+			// Re-check: this caller may have missed the cache before a
+			// previous flight for t0 completed and published.
+			e.mu.Lock()
+			list, ok := e.cache[t0]
+			e.mu.Unlock()
+			if ok {
+				return list, nil
+			}
+			list = e.extract(t0)
+			e.mu.Lock()
+			e.cache[t0] = list
+			e.mu.Unlock()
+			return list, nil
+		})
 	}
 	if len(cached) > k {
 		cached = cached[:k]
 	}
 	return cached, nil
+}
+
+// Extractions returns how many extractions have actually executed —
+// cold misses, excluding cache hits and coalesced callers.
+func (e *Extractor) Extractions() int64 { return e.extracts.Load() }
+
+// Precompute warms the cache for the given start nodes (the offline
+// stage), fanning out over a worker pool of Workers goroutines (default
+// runtime.GOMAXPROCS(0)). The first error stops the pool and is
+// returned wrapped with the offending node id; extraction itself cannot
+// fail, so in practice that is a ctx cancellation.
+func (e *Extractor) Precompute(ctx context.Context, nodes []graph.NodeID) error {
+	return flight.ForEach(ctx, e.Workers, len(nodes), func(i int) error {
+		if _, err := e.SimilarNodes(nodes[i], maxKept); err != nil {
+			return fmt.Errorf("cooccur: precompute node %d: %w", nodes[i], err)
+		}
+		return nil
+	})
 }
 
 // extract runs the bounded path-count from t0, keeping only the
@@ -72,6 +117,7 @@ func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error)
 // 4). This is what makes the baseline strictly local — frequent
 // co-occurrence, nothing transitive.
 func (e *Extractor) extract(t0 graph.NodeID) []graph.Scored {
+	e.extracts.Add(1)
 	csr := e.tg.CSR()
 	dist := map[graph.NodeID]int{t0: 0}
 	counts := map[graph.NodeID]float64{t0: 1}

@@ -1,9 +1,12 @@
 package randomwalk
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"kqr/internal/dblpgen"
+	"kqr/internal/graph"
 	"kqr/internal/tatgraph"
 )
 
@@ -67,5 +70,42 @@ func BenchmarkSimilarNodesWarm(b *testing.B) {
 		if _, err := ex.SimilarNodes(nodes[0], 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Benchmark_PrecomputeParallel measures the offline precompute fan-out
+// at increasing worker counts against the workers=1 sequential
+// baseline. Walks are independent per start node and CPU-bound, so on
+// an m-core machine throughput should scale near-linearly up to m
+// workers (ISSUE 2 acceptance: >= 2x at 4 workers on 4+ cores); beyond
+// m, extra workers only contend.
+func Benchmark_PrecomputeParallel(b *testing.B) {
+	tg := benchGraph(b)
+	// A fixed slice of term nodes, large enough to keep every worker
+	// busy and small enough that one iteration stays in milliseconds.
+	var nodes []graph.NodeID
+	for v := graph.NodeID(0); int(v) < tg.NumNodes() && len(nodes) < 32; v++ {
+		if tg.Kind(v) == tatgraph.KindTerm && tg.Class(v) == "papers.title" {
+			nodes = append(nodes, v)
+		}
+	}
+	if len(nodes) < 32 {
+		b.Fatalf("only %d term nodes", len(nodes))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh extractor each iteration keeps every
+				// precompute cold; construction is just a struct.
+				ex := NewExtractor(tg, Contextual, Options{Workers: workers})
+				if err := ex.Precompute(context.Background(), nodes); err != nil {
+					b.Fatal(err)
+				}
+				if ex.Walks() != int64(len(nodes)) {
+					b.Fatalf("ran %d walks for %d nodes", ex.Walks(), len(nodes))
+				}
+			}
+		})
 	}
 }

@@ -1,8 +1,12 @@
 package randomwalk
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"kqr/internal/flight"
 	"kqr/internal/graph"
 	"kqr/internal/tatgraph"
 )
@@ -29,8 +33,9 @@ func (m PreferenceMode) String() string {
 
 // Extractor performs similar-term extraction over a TAT graph. Results
 // are cached per start node, so repeated queries (and the offline
-// precomputation pass) do not re-run the walk. It is safe for concurrent
-// use.
+// precomputation pass) do not re-run the walk. Concurrent cold misses
+// for the same start node are coalesced into a single walk. It is safe
+// for concurrent use.
 type Extractor struct {
 	tg   *tatgraph.Graph
 	opts Options
@@ -38,6 +43,9 @@ type Extractor struct {
 
 	mu    sync.Mutex
 	cache map[graph.NodeID][]graph.Scored
+
+	flight flight.Group[graph.NodeID, []graph.Scored]
+	walks  atomic.Int64 // walks actually executed (cold misses)
 }
 
 // NewExtractor builds an extractor. Options zero-values get defaults.
@@ -70,48 +78,78 @@ func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error)
 	cached, ok := e.cache[t0]
 	e.mu.Unlock()
 	if !ok {
-		var pref map[graph.NodeID]float64
-		if e.mode == Contextual {
-			pref = e.tg.ContextPreference(t0)
-		} else {
-			pref = e.tg.SelfPreference(t0)
-		}
-		scores, _, err := Scores(e.tg.CSR(), pref, e.opts)
+		// Coalesce concurrent cold misses for t0: the first caller runs
+		// the walk, the rest block and share its result.
+		var err error
+		cached, err, _ = e.flight.Do(t0, func() ([]graph.Scored, error) {
+			// Re-check: this caller may have missed the cache before a
+			// previous flight for t0 completed and published.
+			e.mu.Lock()
+			top, ok := e.cache[t0]
+			e.mu.Unlock()
+			if ok {
+				return top, nil
+			}
+			top, ferr := e.extract(t0)
+			if ferr != nil {
+				return nil, ferr
+			}
+			e.mu.Lock()
+			e.cache[t0] = top
+			e.mu.Unlock()
+			return top, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		// Discount hub terms by idf before ranking: generic words
-		// ("efficient", "framework") accumulate walk mass from every
-		// direction without being substitutable for anything. The same
-		// inverse-occurrence weight that biases the preference vector
-		// (Algorithm 1) debiases the result ranking; the raw
-		// co-occurrence baseline has no such correction, which is one of
-		// the contrasts Table II draws.
-		weighted := make([]float64, len(scores))
-		for i, s := range scores {
-			if s > 0 {
-				weighted[i] = s * e.tg.IDF(graph.NodeID(i))
-			}
-		}
-		top := TopNodes(weighted, maxKept, func(v graph.NodeID) bool {
-			return v != t0 && e.tg.SameClass(v, t0)
-		})
-		if len(top) > 0 && top[0].Score > 0 {
-			norm := top[0].Score
-			for i := range top {
-				top[i].Score /= norm
-			}
-		}
-		e.mu.Lock()
-		e.cache[t0] = top
-		e.mu.Unlock()
-		cached = top
 	}
 	if len(cached) > k {
 		cached = cached[:k]
 	}
 	return cached, nil
 }
+
+// extract runs the walk for t0 and ranks the result (uncached path).
+func (e *Extractor) extract(t0 graph.NodeID) ([]graph.Scored, error) {
+	e.walks.Add(1)
+	var pref map[graph.NodeID]float64
+	if e.mode == Contextual {
+		pref = e.tg.ContextPreference(t0)
+	} else {
+		pref = e.tg.SelfPreference(t0)
+	}
+	scores, _, err := Scores(e.tg.CSR(), pref, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	// Discount hub terms by idf before ranking: generic words
+	// ("efficient", "framework") accumulate walk mass from every
+	// direction without being substitutable for anything. The same
+	// inverse-occurrence weight that biases the preference vector
+	// (Algorithm 1) debiases the result ranking; the raw
+	// co-occurrence baseline has no such correction, which is one of
+	// the contrasts Table II draws.
+	weighted := make([]float64, len(scores))
+	for i, s := range scores {
+		if s > 0 {
+			weighted[i] = s * e.tg.IDF(graph.NodeID(i))
+		}
+	}
+	top := TopNodes(weighted, maxKept, func(v graph.NodeID) bool {
+		return v != t0 && e.tg.SameClass(v, t0)
+	})
+	if len(top) > 0 && top[0].Score > 0 {
+		norm := top[0].Score
+		for i := range top {
+			top[i].Score /= norm
+		}
+	}
+	return top, nil
+}
+
+// Walks returns how many walks have actually executed — cold misses
+// that ran the extraction, excluding cache hits and coalesced callers.
+func (e *Extractor) Walks() int64 { return e.walks.Load() }
 
 // Sim returns the similarity of candidate t to start node t0: its
 // normalized walk score, or 0 if t is not among t0's cached similar
@@ -133,14 +171,19 @@ func (e *Extractor) Sim(t0, t graph.NodeID) (float64, error) {
 }
 
 // Precompute runs extraction for every given start node, warming the
-// cache. It is the offline stage of the paper's pipeline.
-func (e *Extractor) Precompute(nodes []graph.NodeID) error {
-	for _, v := range nodes {
-		if _, err := e.SimilarNodes(v, maxKept); err != nil {
-			return err
+// cache. It is the offline stage of the paper's pipeline. Nodes fan out
+// over a worker pool of Options.Workers goroutines (default
+// runtime.GOMAXPROCS(0)) — walks are independent per start node, so
+// throughput scales with cores. The first error stops the pool and is
+// returned wrapped with the offending node id; ctx cancellation stops
+// scheduling and returns the context's error.
+func (e *Extractor) Precompute(ctx context.Context, nodes []graph.NodeID) error {
+	return flight.ForEach(ctx, e.opts.Workers, len(nodes), func(i int) error {
+		if _, err := e.SimilarNodes(nodes[i], maxKept); err != nil {
+			return fmt.Errorf("randomwalk: precompute node %d: %w", nodes[i], err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Snapshot copies the cached similar-term lists, keyed by start node,

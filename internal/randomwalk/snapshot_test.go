@@ -1,6 +1,7 @@
 package randomwalk
 
 import (
+	"context"
 	"testing"
 
 	"kqr/internal/graph"
@@ -11,7 +12,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	a, _ := tg.TermNode("papers.title", "uncertain")
 	b, _ := tg.TermNode("papers.title", "xml")
 	ex := NewExtractor(tg, Contextual, Options{})
-	if err := ex.Precompute([]graph.NodeID{a, b}); err != nil {
+	if err := ex.Precompute(context.Background(), []graph.NodeID{a, b}); err != nil {
 		t.Fatal(err)
 	}
 	want, err := ex.SimilarNodes(a, 10)

@@ -25,6 +25,10 @@ type Options struct {
 	Epsilon float64
 	// MaxIter caps the number of iterations (default 60).
 	MaxIter int
+	// Workers bounds the goroutines used by Extractor.Precompute's
+	// offline fan-out (<= 0 means runtime.GOMAXPROCS(0)). Scores itself
+	// ignores it: one walk is a single power iteration.
+	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {

@@ -1,6 +1,7 @@
 package randomwalk
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -343,7 +344,7 @@ func TestPrecompute(t *testing.T) {
 	a, _ := tg.TermNode("papers.title", "xml")
 	b, _ := tg.TermNode("papers.title", "uncertain")
 	ex := NewExtractor(tg, Contextual, Options{})
-	if err := ex.Precompute([]graph.NodeID{a, b}); err != nil {
+	if err := ex.Precompute(context.Background(), []graph.NodeID{a, b}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ex.SimilarNodes(a, 5); err != nil {

@@ -12,6 +12,7 @@ package tatgraph
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"kqr/internal/graph"
 	"kqr/internal/relstore"
@@ -344,6 +345,17 @@ func (tg *Graph) NumNodes() int { return tg.g.NumNodes() }
 
 // NumTermNodes returns the number of term nodes.
 func (tg *Graph) NumTermNodes() int { return len(tg.termNodes) }
+
+// TermNodeIDs returns every term node id in ascending order — the
+// universe the offline precompute pass warms.
+func (tg *Graph) TermNodeIDs() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(tg.termNodes))
+	for _, id := range tg.termNodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Kind reports whether the node is a tuple or a term node.
 func (tg *Graph) Kind(v graph.NodeID) NodeKind { return tg.kinds[v] }

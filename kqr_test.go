@@ -1,6 +1,7 @@
 package kqr_test
 
 import (
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -188,6 +189,18 @@ func TestParseQuery(t *testing.T) {
 		{`  spaced   out  `, []string{"spaced", "out"}},
 		{`z "tail quote"`, []string{"z", "tail quote"}},
 		{`"only"`, []string{"only"}},
+		// Any Unicode whitespace separates unquoted terms, consistent
+		// with the TrimSpace normalization around them.
+		{"probabilistic\nquery", []string{"probabilistic", "query"}},
+		{"a\r\n b\vc\fd", []string{"a", "b", "c", "d"}},
+		{"nb\u00a0sp", []string{"nb", "sp"}}, // U+00A0 NBSP separates too
+		// Quotes preserve interior whitespace of any kind.
+		{"\"x\ny\" z", []string{"x\ny", "z"}},
+		// Backslash escapes inside quotes: \" and \\ decode, anything
+		// else stays literal.
+		{`"he said \"hi\"" x`, []string{`he said "hi"`, "x"}},
+		{`"a\\b"`, []string{`a\b`}},
+		{`"path\to"`, []string{`path\to`}},
 	}
 	for _, c := range cases {
 		got, err := kqr.ParseQuery(c.in)
@@ -210,6 +223,67 @@ func TestSuggestionString(t *testing.T) {
 	s := kqr.Suggestion{Terms: []string{"alice ames", "probabilistic"}}
 	if got := s.String(); got != `"alice ames" probabilistic` {
 		t.Fatalf("String = %q", got)
+	}
+	// Terms with tabs, newlines or embedded quotes must be quoted and
+	// escaped so the output parses back to the same terms.
+	cases := []struct {
+		terms []string
+		want  string
+	}{
+		{[]string{"tab\there"}, "\"tab\there\""},
+		{[]string{"new\nline", "x"}, "\"new\nline\" x"},
+		{[]string{`he said "hi"`}, `"he said \"hi\""`},
+		{[]string{`a\b c`}, `"a\\b c"`},
+		{[]string{`plain\backslash`}, `plain\backslash`},
+	}
+	for _, c := range cases {
+		s := kqr.Suggestion{Terms: c.terms}
+		if got := s.String(); got != c.want {
+			t.Fatalf("String(%q) = %q, want %q", c.terms, got, c.want)
+		}
+		back, err := kqr.ParseQuery(s.String())
+		if err != nil {
+			t.Fatalf("ParseQuery(String(%q)): %v", c.terms, err)
+		}
+		if !reflect.DeepEqual(back, c.terms) {
+			t.Fatalf("round-trip of %q: got %q", c.terms, back)
+		}
+	}
+}
+
+// TestSuggestionStringRoundTripProperty generates random term lists
+// over a hostile alphabet (whitespace, quotes, backslashes, multibyte
+// runes) and asserts ParseQuery(Suggestion.String()) recovers them
+// exactly. Terms are constrained to the engine's invariant — non-empty,
+// no leading/trailing whitespace — which every produced term satisfies.
+func TestSuggestionStringRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120402))
+	alphabet := []rune{'a', 'b', 'q', ' ', '\t', '\n', '\r', '\v', '\f', '"', '\\', 'é', '世', '.', '-'}
+	for iter := 0; iter < 5000; iter++ {
+		nTerms := 1 + rng.Intn(4)
+		terms := make([]string, 0, nTerms)
+		for attempts := 0; len(terms) < nTerms && attempts < 100; attempts++ {
+			var sb strings.Builder
+			for j := 1 + rng.Intn(8); j > 0; j-- {
+				sb.WriteRune(alphabet[rng.Intn(len(alphabet))])
+			}
+			term := sb.String()
+			if term == "" || strings.TrimSpace(term) != term {
+				continue
+			}
+			terms = append(terms, term)
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		s := kqr.Suggestion{Terms: terms}
+		got, err := kqr.ParseQuery(s.String())
+		if err != nil {
+			t.Fatalf("ParseQuery(%q) for terms %q: %v", s.String(), terms, err)
+		}
+		if !reflect.DeepEqual(got, terms) {
+			t.Fatalf("round-trip of %q via %q: got %q", terms, s.String(), got)
+		}
 	}
 }
 

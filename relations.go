@@ -1,13 +1,13 @@
 package kqr
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
-	"sync"
 
+	"kqr/internal/flight"
 	"kqr/internal/graph"
 )
 
@@ -37,61 +37,59 @@ func (e *Engine) fingerprint() string {
 		strings.Join(e.tg.Classes(), ","), int(e.opts.Similarity))
 }
 
+// precomputer is satisfied by similarity providers that support the
+// parallel offline warm pass (all in-tree providers do).
+type precomputer interface {
+	Precompute(ctx context.Context, nodes []graph.NodeID) error
+}
+
 // PrecomputeTerms runs the offline extraction (similarity + closeness)
 // for the given terms, warming the caches so subsequent queries over
-// those terms are pure lookups. Terms are processed concurrently — the
-// extractors are safe for concurrent use and the work is embarrassingly
-// parallel. This is the paper's offline stage made explicit; combine
-// with SaveRelations to persist it.
+// those terms are pure lookups. Terms fan out over a worker pool of
+// Options.PrecomputeWorkers goroutines (default runtime.GOMAXPROCS(0))
+// — the extractors are safe for concurrent use and the work is
+// embarrassingly parallel. The first failure stops the pool and is
+// returned wrapped with the offending term. This is the paper's offline
+// stage made explicit; combine with SaveRelations to persist it, or use
+// Warm to precompute the whole vocabulary.
 func (e *Engine) PrecomputeTerms(terms []string) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(terms) {
-		workers = len(terms)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan string)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	record := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+	return flight.ForEach(context.Background(), e.opts.PrecomputeWorkers, len(terms), func(i int) error {
+		term := terms[i]
+		node, err := e.core.ResolveTerm(term)
+		if err != nil {
+			return fmt.Errorf("kqr: precompute term %q: %w", term, err)
 		}
-		mu.Unlock()
+		// Closeness is also needed from every candidate (HMM
+		// transitions start at candidate nodes).
+		cands, err := e.sim.SimilarNodes(node, 0)
+		if err != nil {
+			return fmt.Errorf("kqr: precompute term %q: %w", term, err)
+		}
+		e.clos.From(node)
+		for _, sn := range cands {
+			e.clos.From(sn.Node)
+		}
+		return nil
+	})
+}
+
+// Warm runs the offline stage for the entire term vocabulary: term
+// similarity and closeness for every term node in the TAT graph, fanned
+// out over Options.PrecomputeWorkers goroutines. After Warm returns nil
+// every reformulation request is served from warmed caches — no query
+// ever pays first-touch walk latency. Cancel ctx to stop early; the
+// partial warm is kept and the context's error returned.
+func (e *Engine) Warm(ctx context.Context) error {
+	nodes := e.tg.TermNodeIDs()
+	if p, ok := e.sim.(precomputer); ok {
+		if err := p.Precompute(ctx, nodes); err != nil {
+			return fmt.Errorf("kqr: warming similarity: %w", err)
+		}
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for term := range jobs {
-				node, err := e.core.ResolveTerm(term)
-				if err != nil {
-					record(err)
-					continue
-				}
-				// Closeness is also needed from every candidate (HMM
-				// transitions start at candidate nodes).
-				cands, err := e.sim.SimilarNodes(node, 0)
-				if err != nil {
-					record(err)
-					continue
-				}
-				e.clos.From(node)
-				for _, sn := range cands {
-					e.clos.From(sn.Node)
-				}
-			}
-		}()
+	if err := e.clos.Precompute(ctx, nodes); err != nil {
+		return fmt.Errorf("kqr: warming closeness: %w", err)
 	}
-	for _, term := range terms {
-		jobs <- term
-	}
-	close(jobs)
-	wg.Wait()
-	return firstErr
+	return nil
 }
 
 // SaveRelations writes every precomputed term relation (similar-term

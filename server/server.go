@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"kqr"
+	"kqr/internal/flight"
 	"kqr/internal/serving"
 )
 
@@ -52,9 +53,9 @@ type Server struct {
 	mux          *http.ServeMux
 	logger       *log.Logger
 
-	cache   *serving.Cache   // nil = response caching disabled
-	flight  serving.Group    // coalesces identical cache misses
-	limiter *serving.Limiter // nil = no concurrency bound
+	cache   *serving.Cache               // nil = response caching disabled
+	flight  flight.Group[string, []byte] // coalesces identical cache misses
+	limiter *serving.Limiter             // nil = no concurrency bound
 	metrics *serving.Metrics
 }
 

@@ -1,0 +1,76 @@
+package kqr_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kqr"
+)
+
+// TestEngineWarm warms the full vocabulary and checks the result is the
+// complete offline stage: the saved relations loaded into a cold engine
+// reproduce the warm engine's suggestions exactly.
+func TestEngineWarm(t *testing.T) {
+	for _, mode := range []kqr.SimilarityMode{kqr.ContextualWalk, kqr.Cooccurrence} {
+		eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{Similarity: mode, PrecomputeWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Warm(context.Background()); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		var buf bytes.Buffer
+		if err := eng.SaveRelations(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cold, err := kqr.Open(bibliographyDataset(t), kqr.Options{Similarity: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.LoadRelations(&buf); err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Reformulate([]string{"uncertain", "data"}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cold.Reformulate([]string{"uncertain", "data"}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %v: warmed relations do not reproduce suggestions: %v vs %v", mode, got, want)
+		}
+	}
+}
+
+func TestEngineWarmCancelled(t *testing.T) {
+	eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.Warm(ctx); err == nil {
+		t.Fatal("cancelled Warm returned nil")
+	}
+}
+
+// TestPrecomputeTermsUnknownTerm checks the offline pass names the
+// failing term instead of returning a bare resolution error.
+func TestPrecomputeTermsUnknownTerm(t *testing.T) {
+	eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.PrecomputeTerms([]string{"probabilistic", "no-such-term-xyzzy"})
+	if err == nil {
+		t.Fatal("unknown term accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-term-xyzzy") {
+		t.Fatalf("error does not name the failing term: %v", err)
+	}
+}
