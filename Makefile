@@ -2,19 +2,26 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot docs-check fuzz experiments demo clean
 
 all: check
 
-# Default gate: compile, static checks, tests, and the race detector
-# (the serving layer is lock-heavy, so -race is part of the gate).
-check: build vet test test-race
+# Default gate: compile, static checks, doc-comment coverage, tests,
+# and the race detector (the serving layer is lock-heavy, so -race is
+# part of the gate).
+check: build vet docs-check test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Doc-comment gate: every exported identifier in the root package and
+# internal/artifact must carry a godoc comment (vet catches malformed
+# ones; the script catches missing ones).
+docs-check: vet
+	sh scripts/docs-check.sh . internal/artifact
 
 test:
 	$(GO) test ./...
@@ -38,6 +45,12 @@ bench-offline:
 	$(GO) run ./cmd/kqr-bench -exp offline -json BENCH_offline.json
 	$(GO) test -bench=Benchmark_PrecomputeParallel -benchmem ./internal/randomwalk/
 
+# Snapshot cold start: warm the full offline stage, persist it, reload
+# it into a cold engine and report load-vs-warm speedup as
+# BENCH_snapshot.json.
+bench-snapshot:
+	$(GO) run ./cmd/kqr-bench -exp snapshot -json BENCH_snapshot.json
+
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s .
@@ -45,6 +58,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=20s ./internal/textindex/
 	$(GO) test -fuzz=FuzzKeyInjective -fuzztime=20s ./internal/serving/
 	$(GO) test -fuzz=FuzzCacheKeyCanonical -fuzztime=20s ./server/
+	$(GO) test -fuzz=FuzzLoad -fuzztime=20s ./internal/artifact/
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md data).
 experiments:

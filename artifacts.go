@@ -1,0 +1,214 @@
+package kqr
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"kqr/internal/artifact"
+	"kqr/internal/cooccur"
+	"kqr/internal/graph"
+	"kqr/internal/randomwalk"
+)
+
+// ArtifactInfo reports the provenance of the engine's offline tables:
+// whether they were restored from a snapshot file or are computed live.
+// Operators use it (via GraphStats or directly) to tell which mode a
+// replica is running in.
+type ArtifactInfo struct {
+	// Loaded is true when the offline tables were restored from a
+	// snapshot file at Open (or by a later LoadArtifacts call).
+	Loaded bool
+	// Path is the snapshot file the tables came from, when Loaded.
+	Path string
+	// FormatVersion is the snapshot's on-disk format version, when
+	// Loaded.
+	FormatVersion uint16
+	// FallbackReason explains why a requested snapshot was not used
+	// (Options.ArtifactPath set but the load failed); empty otherwise.
+	FallbackReason string
+}
+
+// String renders the provenance the way GraphStats embeds it.
+func (a ArtifactInfo) String() string {
+	if a.Loaded {
+		return fmt.Sprintf("snapshot v%d (%s)", a.FormatVersion, a.Path)
+	}
+	return "computed"
+}
+
+// Artifact returns the provenance of the engine's offline tables.
+func (e *Engine) Artifact() ArtifactInfo { return e.artifact }
+
+// artifactFingerprint identifies everything the offline tables depend
+// on: the corpus (table row counts), the built graph's shape and
+// classes, and every option that changes what the extractors compute.
+// Two engines share a fingerprint exactly when a snapshot saved by one
+// is valid for the other.
+func (e *Engine) artifactFingerprint() string {
+	damping := e.opts.Damping
+	if damping == 0 {
+		damping = 0.8
+	}
+	closMax := e.opts.ClosenessMaxLen
+	if closMax == 0 {
+		closMax = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "kqr mode=%s damping=%g closmax=%d closbeam=%d phrases=%t plurals=%t",
+		e.opts.Similarity, damping, closMax, e.opts.ClosenessBeam, e.opts.Phrases, e.opts.FoldPlurals)
+	fmt.Fprintf(&b, " nodes=%d terms=%d edges=%d", e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges())
+	fmt.Fprintf(&b, " classes=%s", strings.Join(e.tg.Classes(), ","))
+	fmt.Fprintf(&b, " corpus=%s", e.tg.DB().Stats())
+	return b.String()
+}
+
+// buildSnapshot assembles the in-memory snapshot of the offline stage:
+// the full vocabulary plus whichever similarity table the engine's mode
+// maintains, and the closeness table.
+func (e *Engine) buildSnapshot() (*artifact.Snapshot, error) {
+	snap := &artifact.Snapshot{
+		Fingerprint: e.artifactFingerprint(),
+		Classes:     e.tg.Classes(),
+		Closeness:   e.clos.Snapshot(),
+	}
+	classIndex := make(map[string]int32, len(snap.Classes))
+	for i, c := range snap.Classes {
+		classIndex[c] = int32(i)
+	}
+	for _, node := range e.tg.TermNodeIDs() {
+		snap.Vocabulary = append(snap.Vocabulary, artifact.Term{
+			Node:  node,
+			Class: classIndex[e.tg.Class(node)],
+			Text:  e.tg.TermText(node),
+		})
+	}
+	switch sim := e.sim.(type) {
+	case *randomwalk.Extractor:
+		snap.Walk = sim.Snapshot()
+	case *cooccur.Extractor:
+		snap.Cooccur = sim.Snapshot()
+	default:
+		return nil, fmt.Errorf("kqr: similarity provider %T does not support snapshots", e.sim)
+	}
+	return snap, nil
+}
+
+// SaveArtifacts writes the engine's offline tables (similarity and
+// closeness, plus the vocabulary that validates them) as a versioned,
+// checksummed snapshot file. The write is atomic: a temp file in the
+// same directory is renamed over path only after a successful write, so
+// a crash never leaves a half-written snapshot behind. Save after Warm
+// to capture the complete offline stage; a later Open with
+// Options.ArtifactPath then restores it instead of recomputing.
+func (e *Engine) SaveArtifacts(path string) error {
+	snap, err := e.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dirOf(path), ".kqr-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("kqr: saving artifacts: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := snap.Write(bw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kqr: saving artifacts to %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kqr: saving artifacts to %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("kqr: saving artifacts to %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("kqr: saving artifacts: %w", err)
+	}
+	return nil
+}
+
+// dirOf returns the directory containing path, "." for a bare name.
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, os.PathSeparator); i >= 0 {
+		return path[:i+1]
+	}
+	return "."
+}
+
+// LoadArtifacts restores the offline tables from a snapshot file
+// previously written by SaveArtifacts. The snapshot must carry this
+// engine's exact fingerprint (same corpus, graph and offline options)
+// and an intact vocabulary, or a wrapped artifact sentinel error
+// (artifact.ErrFingerprint, artifact.ErrChecksum, …) is returned and
+// the engine is left untouched. Open calls this automatically when
+// Options.ArtifactPath is set, falling back to live compute on any
+// error.
+func (e *Engine) LoadArtifacts(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("kqr: loading artifacts: %w", err)
+	}
+	defer f.Close()
+	snap, err := artifact.Load(bufio.NewReaderSize(f, 1<<20), e.artifactFingerprint())
+	if err != nil {
+		return fmt.Errorf("kqr: loading artifacts from %s: %w", path, err)
+	}
+	if err := e.restoreSnapshot(snap); err != nil {
+		return fmt.Errorf("kqr: loading artifacts from %s: %w", path, err)
+	}
+	e.artifact = ArtifactInfo{Loaded: true, Path: path, FormatVersion: snap.Version}
+	return nil
+}
+
+// restoreSnapshot validates the snapshot's vocabulary against the built
+// graph node by node, then installs the tables into the extractors.
+// The vocabulary check backstops the fingerprint: node ids are only
+// meaningful if every term node still carries the same text and class.
+func (e *Engine) restoreSnapshot(snap *artifact.Snapshot) error {
+	if len(snap.Vocabulary) != e.tg.NumTermNodes() {
+		return fmt.Errorf("%w: snapshot has %d vocabulary terms, graph has %d",
+			artifact.ErrFingerprint, len(snap.Vocabulary), e.tg.NumTermNodes())
+	}
+	for _, t := range snap.Vocabulary {
+		if int(t.Node) < 0 || int(t.Node) >= e.tg.NumNodes() ||
+			int(t.Class) >= len(snap.Classes) ||
+			e.tg.TermText(t.Node) != t.Text ||
+			e.tg.Class(t.Node) != snap.Classes[t.Class] {
+			return fmt.Errorf("%w: vocabulary entry for node %d (%q) does not match the graph",
+				artifact.ErrFingerprint, t.Node, t.Text)
+		}
+	}
+	switch sim := e.sim.(type) {
+	case *randomwalk.Extractor:
+		if snap.Walk == nil {
+			return fmt.Errorf("%w: snapshot has no random-walk section", artifact.ErrFingerprint)
+		}
+		sim.Restore(snap.Walk)
+	case *cooccur.Extractor:
+		if snap.Cooccur == nil {
+			return fmt.Errorf("%w: snapshot has no co-occurrence section", artifact.ErrFingerprint)
+		}
+		sim.Restore(snap.Cooccur)
+	default:
+		return fmt.Errorf("kqr: similarity provider %T does not support snapshots", e.sim)
+	}
+	if snap.Closeness == nil {
+		snap.Closeness = make(map[graph.NodeID]map[graph.NodeID]float64)
+	}
+	e.clos.Restore(snap.Closeness)
+	return nil
+}
+
+// loadArtifactsOrFallback is Open's never-fatal load path: any failure
+// is logged and recorded in ArtifactInfo, and the engine serves with
+// live computation instead.
+func (e *Engine) loadArtifactsOrFallback(path string) {
+	if err := e.LoadArtifacts(path); err != nil {
+		log.Printf("kqr: snapshot %s not used (%v); falling back to live compute", path, err)
+		e.artifact = ArtifactInfo{FallbackReason: err.Error()}
+	}
+}

@@ -1,0 +1,230 @@
+package kqr_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kqr"
+	"kqr/internal/artifact"
+)
+
+// warmAndSave opens an engine, warms the full vocabulary and saves a
+// snapshot, returning the engine and the snapshot path.
+func warmAndSave(t *testing.T, mode kqr.SimilarityMode) (*kqr.Engine, string) {
+	t.Helper()
+	eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{Similarity: mode, PrecomputeWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "offline.snapshot")
+	if err := eng.SaveArtifacts(path); err != nil {
+		t.Fatal(err)
+	}
+	return eng, path
+}
+
+// TestArtifactRoundTrip is the PR's acceptance property: Warm →
+// SaveArtifacts → fresh Open with ArtifactPath yields byte-identical
+// SimilarTerms and CloseTerms results for every vocabulary term, in
+// both similarity modes that support persistence.
+func TestArtifactRoundTrip(t *testing.T) {
+	for _, mode := range []kqr.SimilarityMode{kqr.ContextualWalk, kqr.Cooccurrence} {
+		warm, path := warmAndSave(t, mode)
+		cold, err := kqr.Open(bibliographyDataset(t), kqr.Options{Similarity: mode, ArtifactPath: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info := cold.Artifact(); !info.Loaded || info.FormatVersion != 1 || info.Path != path {
+			t.Fatalf("mode %v: snapshot not loaded: %+v", mode, info)
+		}
+		if s := cold.GraphStats(); !strings.Contains(s, "offline: snapshot v1") {
+			t.Fatalf("mode %v: GraphStats lacks snapshot provenance: %q", mode, s)
+		}
+		if s := warm.GraphStats(); !strings.Contains(s, "offline: computed") {
+			t.Fatalf("mode %v: GraphStats lacks computed provenance: %q", mode, s)
+		}
+		vocab := warm.Vocabulary()
+		if len(vocab) == 0 {
+			t.Fatal("empty vocabulary")
+		}
+		if !reflect.DeepEqual(vocab, cold.Vocabulary()) {
+			t.Fatalf("mode %v: vocabularies differ", mode)
+		}
+		for _, term := range vocab {
+			wantSim, err1 := warm.SimilarTerms(term, 10)
+			gotSim, err2 := cold.SimilarTerms(term, 10)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("mode %v, term %q: SimilarTerms errs %v / %v", mode, term, err1, err2)
+			}
+			if !reflect.DeepEqual(gotSim, wantSim) {
+				t.Fatalf("mode %v, term %q: SimilarTerms differ:\nwarm %+v\ncold %+v", mode, term, wantSim, gotSim)
+			}
+			wantClos, err1 := warm.CloseTerms(term, 10, "")
+			gotClos, err2 := cold.CloseTerms(term, 10, "")
+			if err1 != nil || err2 != nil {
+				t.Fatalf("mode %v, term %q: CloseTerms errs %v / %v", mode, term, err1, err2)
+			}
+			if !reflect.DeepEqual(gotClos, wantClos) {
+				t.Fatalf("mode %v, term %q: CloseTerms differ:\nwarm %+v\ncold %+v", mode, term, wantClos, gotClos)
+			}
+		}
+		// And the end product: suggestions match exactly.
+		want, err := warm.Reformulate([]string{"uncertain", "data"}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cold.Reformulate([]string{"uncertain", "data"}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %v: suggestions differ: %v vs %v", mode, got, want)
+		}
+	}
+}
+
+// corrupt writes a mutated copy of the snapshot at path and returns the
+// new path.
+func corrupt(t *testing.T, path string, mutate func([]byte) []byte) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "corrupt.snapshot")
+	if err := os.WriteFile(out, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestArtifactCorruptionTyped checks each corruption class surfaces as
+// its sentinel error from LoadArtifacts.
+func TestArtifactCorruptionTyped(t *testing.T) {
+	_, path := warmAndSave(t, kqr.ContextualWalk)
+	eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)-len(b)/3] }, artifact.ErrTruncated},
+		{"flipped byte", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }, artifact.ErrChecksum},
+		{"wrong version", func(b []byte) []byte { b[6] = 0x7F; return b }, artifact.ErrVersion},
+		{"bad magic", func(b []byte) []byte { b[0] = 'Z'; return b }, artifact.ErrMagic},
+	}
+	for _, tc := range cases {
+		bad := corrupt(t, path, tc.mutate)
+		if err := eng.LoadArtifacts(bad); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestArtifactFingerprintMismatch: a snapshot from a different corpus
+// or a different offline configuration is rejected with ErrFingerprint.
+func TestArtifactFingerprintMismatch(t *testing.T) {
+	_, path := warmAndSave(t, kqr.ContextualWalk)
+
+	// Different similarity mode over the same corpus.
+	eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{Similarity: kqr.Cooccurrence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadArtifacts(path); !errors.Is(err, artifact.ErrFingerprint) {
+		t.Fatalf("mode mismatch: err = %v, want ErrFingerprint", err)
+	}
+
+	// Different offline parameters over the same corpus.
+	eng, err = kqr.Open(bibliographyDataset(t), kqr.Options{ClosenessMaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadArtifacts(path); !errors.Is(err, artifact.ErrFingerprint) {
+		t.Fatalf("option mismatch: err = %v, want ErrFingerprint", err)
+	}
+
+	// Different corpus entirely.
+	ds, err := kqr.NewDataset(kqr.Table{Name: "notes", Columns: []kqr.Column{
+		{Name: "body", Type: kqr.TypeString, Text: kqr.TextSegmented},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Insert("notes", "an entirely different corpus"); err != nil {
+		t.Fatal(err)
+	}
+	eng, err = kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadArtifacts(path); !errors.Is(err, artifact.ErrFingerprint) {
+		t.Fatalf("corpus mismatch: err = %v, want ErrFingerprint", err)
+	}
+}
+
+// TestArtifactOpenFallback: Open with a bad ArtifactPath must never
+// fail — it logs, records the reason, and serves by live computation.
+func TestArtifactOpenFallback(t *testing.T) {
+	_, path := warmAndSave(t, kqr.ContextualWalk)
+	bad := []struct {
+		name string
+		path string
+	}{
+		{"missing file", filepath.Join(t.TempDir(), "nope.snapshot")},
+		{"truncated", corrupt(t, path, func(b []byte) []byte { return b[:len(b)/2] })},
+		{"flipped byte", corrupt(t, path, func(b []byte) []byte { b[len(b)-3] ^= 0x80; return b })},
+		{"wrong version", corrupt(t, path, func(b []byte) []byte { b[7] = 0x7F; return b })},
+	}
+	for _, tc := range bad {
+		eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{ArtifactPath: tc.path})
+		if err != nil {
+			t.Fatalf("%s: Open failed instead of falling back: %v", tc.name, err)
+		}
+		info := eng.Artifact()
+		if info.Loaded || info.FallbackReason == "" {
+			t.Fatalf("%s: provenance does not record the fallback: %+v", tc.name, info)
+		}
+		if s := eng.GraphStats(); !strings.Contains(s, "offline: computed") {
+			t.Fatalf("%s: GraphStats = %q, want computed provenance", tc.name, s)
+		}
+		// The fallback engine still answers queries (live compute).
+		if _, err := eng.Reformulate([]string{"uncertain", "data"}, 5); err != nil {
+			t.Fatalf("%s: fallback engine cannot reformulate: %v", tc.name, err)
+		}
+	}
+}
+
+// TestSaveArtifactsAtomic: a failed save must not clobber an existing
+// good snapshot, and saving twice produces identical bytes.
+func TestSaveArtifactsAtomic(t *testing.T) {
+	eng, path := warmAndSave(t, kqr.ContextualWalk)
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveArtifacts(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("re-saving the same engine produced different bytes")
+	}
+	if err := eng.SaveArtifacts(filepath.Join(t.TempDir(), "no", "such", "dir", "x.snapshot")); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -32,7 +32,7 @@ func main() {
 		reps    = flag.Int("reps", 3, "timing repetitions")
 		seeds   = flag.Int("seeds", 1, "query seeds for fig5 (>1 reports mean±std)")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
-		jsonOut = flag.String("json", "", "write offline scaling data as JSON to this file (with -exp offline)")
+		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline or -exp snapshot)")
 	)
 	flag.Parse()
 
@@ -209,6 +209,30 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 			fmt.Println("wrote", jsonOut)
 		}
 	}
+	if exp == "snapshot" {
+		ran = true
+		dir, err := os.MkdirTemp("", "kqr-snapshot-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		row, err := experiments.SnapshotColdStart(cfg, dir, 0)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		fmt.Println(experiments.RenderSnapshot(row))
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteSnapshotJSON(f, cfg, row); err != nil {
+				return err
+			}
+			fmt.Println("wrote", jsonOut)
+		}
+	}
 	if exp == "synonyms" || exp == "all" {
 		ran = true
 		rows, err := s.SynonymRecall(64)
@@ -218,7 +242,7 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation or offline)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline or snapshot)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

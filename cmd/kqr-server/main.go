@@ -14,6 +14,17 @@
 // out over -precompute-workers goroutines (default GOMAXPROCS) — so no
 // request ever pays first-touch walk latency.
 //
+// The offline stage can be persisted as a versioned snapshot for
+// instant cold starts: -snapshot-save writes the warmed tables after
+// -warm completes (implying -warm if absent), and -snapshot-load
+// restores them at startup instead of recomputing, falling back to
+// live compute — logged, never fatal — when the file is missing, from
+// a different corpus, or corrupt. Point both flags at the same path to
+// get warm-once-then-load-forever restarts:
+//
+//	kqr-server -warm -snapshot-save offline.snapshot   # first deploy
+//	kqr-server -snapshot-load offline.snapshot         # every restart
+//
 // The serving layer defaults to production posture: a 64 MB response
 // cache with a 5-minute TTL plus request coalescing (-cache-mb 0
 // disables), and a concurrency limit of 4×GOMAXPROCS with a bounded
@@ -37,45 +48,72 @@ import (
 	"kqr/synthetic"
 )
 
+// config collects the flag values run needs.
+type config struct {
+	addr        string
+	seed        int64
+	papers      int
+	relations   string
+	warm        bool
+	warmWorkers int
+	snapSave    string
+	snapLoad    string
+	cacheMB     int
+	cacheTTL    time.Duration
+	maxInflight int
+	maxQueue    int
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		seed        = flag.Int64("seed", 20120401, "corpus seed")
-		papers      = flag.Int("papers", 3000, "corpus size in papers")
-		relations   = flag.String("relations", "", "path for cached precomputed relations (optional)")
-		warm        = flag.Bool("warm", false, "precompute similarity+closeness for the whole vocabulary before serving")
-		warmWorkers = flag.Int("precompute-workers", 0, "offline precompute worker pool size (0 = GOMAXPROCS)")
-		cacheMB     = flag.Int("cache-mb", 64, "response cache size in MiB (0 disables caching and coalescing)")
-		cacheTTL    = flag.Duration("cache-ttl", 5*time.Minute, "response cache entry TTL (0 = no expiry)")
-		maxInflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently executing requests (0 = unlimited)")
-		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for an execution slot before shedding")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Int64Var(&cfg.seed, "seed", 20120401, "corpus seed")
+	flag.IntVar(&cfg.papers, "papers", 3000, "corpus size in papers")
+	flag.StringVar(&cfg.relations, "relations", "", "path for cached precomputed relations (optional)")
+	flag.BoolVar(&cfg.warm, "warm", false, "precompute similarity+closeness for the whole vocabulary before serving")
+	flag.IntVar(&cfg.warmWorkers, "precompute-workers", 0, "offline precompute worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.snapSave, "snapshot-save", "", "write the offline tables as a snapshot here after warming (implies -warm)")
+	flag.StringVar(&cfg.snapLoad, "snapshot-load", "", "restore the offline tables from this snapshot at startup (falls back to live compute)")
+	flag.IntVar(&cfg.cacheMB, "cache-mb", 64, "response cache size in MiB (0 disables caching and coalescing)")
+	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 5*time.Minute, "response cache entry TTL (0 = no expiry)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently executing requests (0 = unlimited)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 64, "max requests waiting for an execution slot before shedding")
 	flag.Parse()
-	if err := run(*addr, *seed, *papers, *relations, *warm, *warmWorkers, *cacheMB, *cacheTTL, *maxInflight, *maxQueue); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, papers int, relationsPath string, warm bool, warmWorkers, cacheMB int, cacheTTL time.Duration, maxInflight, maxQueue int) error {
+func run(cfg config) error {
 	fmt.Println("building corpus and TAT graph...")
-	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: seed, Papers: papers})
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: cfg.seed, Papers: cfg.papers})
 	if err != nil {
 		return err
 	}
-	eng, err := kqr.Open(corpus.Dataset, kqr.Options{PrecomputeWorkers: warmWorkers})
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{
+		PrecomputeWorkers: cfg.warmWorkers,
+		ArtifactPath:      cfg.snapLoad,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("dataset: %s\ngraph:   %s\n", corpus.Dataset.Stats(), eng.GraphStats())
+	loaded := eng.Artifact().Loaded
+	if cfg.snapLoad != "" && !loaded {
+		fmt.Printf("snapshot %s not used (%s); computing live\n", cfg.snapLoad, eng.Artifact().FallbackReason)
+	}
 
-	if relationsPath != "" {
-		if err := loadOrPrecompute(eng, corpus, relationsPath); err != nil {
+	if cfg.relations != "" {
+		if err := loadOrPrecompute(eng, corpus, cfg.relations); err != nil {
 			return err
 		}
 	}
+	// -snapshot-save without a restored snapshot needs warm tables to be
+	// worth saving, so it implies -warm.
+	warm := cfg.warm || (cfg.snapSave != "" && !loaded)
 	if warm {
-		workers := warmWorkers
+		workers := cfg.warmWorkers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
@@ -86,15 +124,25 @@ func run(addr string, seed int64, papers int, relationsPath string, warm bool, w
 		}
 		fmt.Printf("offline caches hot in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	if cfg.snapSave != "" {
+		start := time.Now()
+		if err := eng.SaveArtifacts(cfg.snapSave); err != nil {
+			return err
+		}
+		if st, err := os.Stat(cfg.snapSave); err == nil {
+			fmt.Printf("snapshot saved to %s (%d bytes) in %v\n",
+				cfg.snapSave, st.Size(), time.Since(start).Round(time.Millisecond))
+		}
+	}
 
 	opts := []server.Option{server.WithDatasetStats(corpus.Dataset.Stats())}
-	if cacheMB > 0 {
-		opts = append(opts, server.WithCache(int64(cacheMB)<<20, cacheTTL))
-		fmt.Printf("serving: %d MiB response cache, ttl %v, coalescing on\n", cacheMB, cacheTTL)
+	if cfg.cacheMB > 0 {
+		opts = append(opts, server.WithCache(int64(cfg.cacheMB)<<20, cfg.cacheTTL))
+		fmt.Printf("serving: %d MiB response cache, ttl %v, coalescing on\n", cfg.cacheMB, cfg.cacheTTL)
 	}
-	if maxInflight > 0 {
-		opts = append(opts, server.WithMaxInflight(maxInflight, maxQueue))
-		fmt.Printf("serving: max %d in flight, queue %d, overload shed as 503\n", maxInflight, maxQueue)
+	if cfg.maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(cfg.maxInflight, cfg.maxQueue))
+		fmt.Printf("serving: max %d in flight, queue %d, overload shed as 503\n", cfg.maxInflight, cfg.maxQueue)
 	}
 	srv, err := server.New(eng, opts...)
 	if err != nil {
@@ -105,7 +153,7 @@ func run(addr string, seed int64, papers int, relationsPath string, warm bool, w
 	// in-flight requests under the server's 10s grace period.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return srv.Serve(ctx, addr)
+	return srv.Serve(ctx, cfg.addr)
 }
 
 // loadOrPrecompute restores cached relations when present, otherwise

@@ -94,6 +94,13 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Per-term extraction is independent, so
 	// precompute throughput scales with cores.
 	PrecomputeWorkers int
+	// ArtifactPath, when non-empty, names a snapshot file previously
+	// written by Engine.SaveArtifacts. Open tries to restore the
+	// offline tables (similarity and closeness) from it instead of
+	// computing them; any failure — missing file, corruption, version
+	// or corpus mismatch — is logged and recorded in Engine.Artifact,
+	// and the engine falls back to live computation. Never fatal.
+	ArtifactPath string
 }
 
 // Engine is the opened reformulation system: the TAT graph plus the
@@ -106,6 +113,7 @@ type Engine struct {
 	core     *core.Engine
 	searcher *keywordsearch.Searcher
 	opts     Options
+	artifact ArtifactInfo
 }
 
 // Open builds the TAT graph over the dataset and wires the offline and
@@ -170,7 +178,11 @@ func Open(d *Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{tg: tg, sim: sim, clos: clos, core: eng, searcher: searcher, opts: opts}, nil
+	e := &Engine{tg: tg, sim: sim, clos: clos, core: eng, searcher: searcher, opts: opts}
+	if opts.ArtifactPath != "" {
+		e.loadArtifactsOrFallback(opts.ArtifactPath)
+	}
+	return e, nil
 }
 
 // Suggestion is one reformulated query.
@@ -328,10 +340,21 @@ func (e *Engine) Search(terms []string) ([]SearchResult, int, error) {
 	return out, total, nil
 }
 
-// GraphStats summarizes the built TAT graph.
+// GraphStats summarizes the built TAT graph and the provenance of the
+// offline tables — "offline: snapshot v1 (path)" when they were
+// restored from an artifact file, "offline: computed" when they are
+// built live — so operators can tell which mode a replica is in.
 func (e *Engine) GraphStats() string {
-	return fmt.Sprintf("%d nodes (%d terms), %d edges, %d components",
-		e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges(), e.tg.CSR().NumComponents())
+	return fmt.Sprintf("%d nodes (%d terms), %d edges, %d components, offline: %s",
+		e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges(), e.tg.CSR().NumComponents(),
+		e.artifact)
+}
+
+// Vocabulary returns the distinct normalized term texts in the TAT
+// graph, sorted. It enumerates what Warm precomputes and what a
+// snapshot persists — useful for auditing a replica's offline tables.
+func (e *Engine) Vocabulary() []string {
+	return e.tg.TermTexts()
 }
 
 // ParseQuery splits a query string into terms: any Unicode whitespace

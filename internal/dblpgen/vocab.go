@@ -1,19 +1,3 @@
-// Package dblpgen generates a deterministic, DBLP-shaped synthetic
-// corpus: conferences, authors, papers, authorship and citation tables,
-// all driven by a latent topic model. It stands in for the DBLP dump the
-// paper evaluated on (700k authors / 1.3M papers / 4.5k conferences),
-// reproducing at laptop scale the structure the paper's algorithms
-// exploit:
-//
-//   - every topic has planted quasi-synonym pairs (e.g. probabilistic ↔
-//     uncertain) that NEVER co-occur in one title yet share conferences,
-//     authors and surrounding vocabulary — the signal the contextual
-//     random walk must find and plain co-occurrence must miss;
-//   - authors and conferences specialize in topics, giving the
-//     heterogeneous TAT graph its community structure;
-//   - the generator exports the latent assignment as ground truth, which
-//     the evaluation harness uses as the mechanical stand-in for the
-//     paper's three human judges.
 package dblpgen
 
 import "math/rand"

@@ -1,0 +1,12 @@
+// Package eval provides the experiment harness: a mechanical relevance
+// judge derived from the corpus generator's latent topics (the stand-in
+// for the paper's three human evaluators — see DESIGN.md), the
+// Precision@N and query-distance metrics of §VI, and deterministic
+// query workload builders for every experiment.
+//
+// The judge scores a reformulated query by how well its terms stay on
+// the latent topic of the input query's terms, using the ground-truth
+// topic assignment the generator exports — so precision numbers are
+// reproducible and need no human in the loop, at the cost of measuring
+// topical relevance rather than true semantic substitutability.
+package eval

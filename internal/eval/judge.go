@@ -1,8 +1,3 @@
-// Package eval provides the experiment harness: a mechanical relevance
-// judge derived from the corpus generator's latent topics (the stand-in
-// for the paper's three human evaluators — see DESIGN.md), the
-// Precision@N and query-distance metrics of §VI, and deterministic query
-// workload builders for every experiment.
 package eval
 
 import (

@@ -1,0 +1,11 @@
+// Package relstore implements a small in-memory relational storage
+// engine: typed schemas, tables, primary keys, foreign-key references
+// with referential-integrity checking, and the scan/lookup primitives
+// the rest of the system builds on.
+//
+// It plays the role MySQL played in the original paper: the system of
+// record from which the term-augmented tuple graph is built. Its Stats
+// summary (table names and row counts) also feeds the snapshot
+// fingerprint that binds a persisted offline artifact to the corpus it
+// was computed from.
+package relstore

@@ -1,10 +1,3 @@
-// Package relstore implements a small in-memory relational storage engine:
-// typed schemas, tables, primary keys, foreign-key references with
-// referential-integrity checking, and the scan/lookup primitives the rest
-// of the system builds on.
-//
-// It plays the role MySQL played in the original paper: the system of
-// record from which the term-augmented tuple graph is built.
 package relstore
 
 import (

@@ -357,6 +357,17 @@ func (tg *Graph) TermNodeIDs() []graph.NodeID {
 	return out
 }
 
+// TermTexts returns the distinct normalized term texts across all
+// fields, sorted — the graph's vocabulary as users would type it.
+func (tg *Graph) TermTexts() []string {
+	out := make([]string, 0, len(tg.byText))
+	for text := range tg.byText {
+		out = append(out, text)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Kind reports whether the node is a tuple or a term node.
 func (tg *Graph) Kind(v graph.NodeID) NodeKind { return tg.kinds[v] }
 

@@ -25,6 +25,25 @@
 //	ds.Insert("papers", int64(1), "probabilistic query evaluation")
 //	eng, _ := kqr.Open(ds, kqr.Options{})
 //	suggestions, _ := eng.ReformulateQuery("uncertain data", 5)
+//
+// # Snapshots
+//
+// The offline stage (graph build aside) can be persisted as a
+// versioned, checksummed snapshot file and restored on the next start
+// instead of recomputed — an order-of-magnitude cold-start saving on
+// realistic corpora:
+//
+//	eng.Warm(ctx)                          // force full offline compute
+//	eng.SaveArtifacts("offline.snapshot")  // atomic, streaming write
+//	...
+//	eng2, _ := kqr.Open(ds, kqr.Options{ArtifactPath: "offline.snapshot"})
+//	eng2.Artifact().Loaded                 // true if the snapshot matched
+//
+// A snapshot is bound to its corpus and offline options by a
+// fingerprint; on any mismatch (or corruption) Open logs the reason
+// and falls back to live compute — a stale snapshot can never change
+// results. See internal/artifact for the file format and DESIGN.md §10
+// for the byte layout.
 package kqr
 
 import (

@@ -1,0 +1,32 @@
+#!/bin/sh
+# docs-check: fail when an exported top-level identifier lacks a doc
+# comment. A cheap grep-style gate (paired with `go vet` in the
+# Makefile) over the packages whose godoc we guarantee: the root kqr
+# package and internal/artifact.
+#
+# Usage: scripts/docs-check.sh DIR [DIR...]
+set -u
+status=0
+for dir in "$@"; do
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        awk -v file="$f" '
+            /^\/\// { prev_comment = 1; next }
+            /^func \([^)]*\) [A-Z]/ || /^(func|type|var|const) [A-Z]/ {
+                if (!prev_comment) {
+                    printf "%s:%d: exported declaration has no doc comment: %s\n", file, FNR, $0
+                    bad = 1
+                }
+            }
+            { prev_comment = 0 }
+            END { exit bad }
+        ' "$f" || status=1
+    done
+done
+if [ "$status" -ne 0 ]; then
+    echo "docs-check: exported identifiers above need doc comments" >&2
+fi
+exit $status
