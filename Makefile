@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot docs-check fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live docs-check fuzz experiments demo clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 # internal/artifact must carry a godoc comment (vet catches malformed
 # ones; the script catches missing ones).
 docs-check: vet
-	sh scripts/docs-check.sh . internal/artifact
+	sh scripts/docs-check.sh . internal/artifact internal/live
 
 test:
 	$(GO) test ./...
@@ -50,6 +50,12 @@ bench-offline:
 # BENCH_snapshot.json.
 bench-snapshot:
 	$(GO) run ./cmd/kqr-bench -exp snapshot -json BENCH_snapshot.json
+
+# Live ingestion churn: promotion latency and query p50/p99 under
+# continuous delta ingestion across several generation swaps, written
+# as BENCH_live.json. The run fails on any query error.
+bench-live:
+	$(GO) run ./cmd/kqr-bench -exp live -json BENCH_live.json
 
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:

@@ -10,6 +10,7 @@ import (
 	"kqr/internal/artifact"
 	"kqr/internal/cooccur"
 	"kqr/internal/graph"
+	"kqr/internal/live"
 	"kqr/internal/randomwalk"
 )
 
@@ -39,15 +40,28 @@ func (a ArtifactInfo) String() string {
 	return "computed"
 }
 
-// Artifact returns the provenance of the engine's offline tables.
-func (e *Engine) Artifact() ArtifactInfo { return e.artifact }
+// Artifact returns the provenance of the engine's offline tables. Safe
+// to call concurrently with LoadArtifacts/ReloadArtifacts.
+func (e *Engine) Artifact() ArtifactInfo {
+	e.artifactMu.Lock()
+	defer e.artifactMu.Unlock()
+	return e.artifact
+}
+
+// setArtifact records provenance under the lock so concurrent readers
+// (Artifact, GraphStats) never see a torn value.
+func (e *Engine) setArtifact(a ArtifactInfo) {
+	e.artifactMu.Lock()
+	e.artifact = a
+	e.artifactMu.Unlock()
+}
 
 // artifactFingerprint identifies everything the offline tables depend
 // on: the corpus (table row counts), the built graph's shape and
 // classes, and every option that changes what the extractors compute.
 // Two engines share a fingerprint exactly when a snapshot saved by one
 // is valid for the other.
-func (e *Engine) artifactFingerprint() string {
+func (e *Engine) artifactFingerprint(g *live.Generation) string {
 	damping := e.opts.Damping
 	if damping == 0 {
 		damping = 0.8
@@ -59,39 +73,39 @@ func (e *Engine) artifactFingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "kqr mode=%s damping=%g closmax=%d closbeam=%d phrases=%t plurals=%t",
 		e.opts.Similarity, damping, closMax, e.opts.ClosenessBeam, e.opts.Phrases, e.opts.FoldPlurals)
-	fmt.Fprintf(&b, " nodes=%d terms=%d edges=%d", e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges())
-	fmt.Fprintf(&b, " classes=%s", strings.Join(e.tg.Classes(), ","))
-	fmt.Fprintf(&b, " corpus=%s", e.tg.DB().Stats())
+	fmt.Fprintf(&b, " nodes=%d terms=%d edges=%d", g.TG.NumNodes(), g.TG.NumTermNodes(), g.TG.CSR().NumEdges())
+	fmt.Fprintf(&b, " classes=%s", strings.Join(g.TG.Classes(), ","))
+	fmt.Fprintf(&b, " corpus=%s", g.TG.DB().Stats())
 	return b.String()
 }
 
-// buildSnapshot assembles the in-memory snapshot of the offline stage:
-// the full vocabulary plus whichever similarity table the engine's mode
-// maintains, and the closeness table.
-func (e *Engine) buildSnapshot() (*artifact.Snapshot, error) {
+// buildSnapshot assembles the in-memory snapshot of one generation's
+// offline stage: the full vocabulary plus whichever similarity table
+// the engine's mode maintains, and the closeness table.
+func (e *Engine) buildSnapshot(g *live.Generation) (*artifact.Snapshot, error) {
 	snap := &artifact.Snapshot{
-		Fingerprint: e.artifactFingerprint(),
-		Classes:     e.tg.Classes(),
-		Closeness:   e.clos.Snapshot(),
+		Fingerprint: e.artifactFingerprint(g),
+		Classes:     g.TG.Classes(),
+		Closeness:   g.Clos.Snapshot(),
 	}
 	classIndex := make(map[string]int32, len(snap.Classes))
 	for i, c := range snap.Classes {
 		classIndex[c] = int32(i)
 	}
-	for _, node := range e.tg.TermNodeIDs() {
+	for _, node := range g.TG.TermNodeIDs() {
 		snap.Vocabulary = append(snap.Vocabulary, artifact.Term{
 			Node:  node,
-			Class: classIndex[e.tg.Class(node)],
-			Text:  e.tg.TermText(node),
+			Class: classIndex[g.TG.Class(node)],
+			Text:  g.TG.TermText(node),
 		})
 	}
-	switch sim := e.sim.(type) {
+	switch sim := g.Sim.(type) {
 	case *randomwalk.Extractor:
 		snap.Walk = sim.Snapshot()
 	case *cooccur.Extractor:
 		snap.Cooccur = sim.Snapshot()
 	default:
-		return nil, fmt.Errorf("kqr: similarity provider %T does not support snapshots", e.sim)
+		return nil, fmt.Errorf("kqr: similarity provider %T does not support snapshots", g.Sim)
 	}
 	return snap, nil
 }
@@ -104,7 +118,7 @@ func (e *Engine) buildSnapshot() (*artifact.Snapshot, error) {
 // to capture the complete offline stage; a later Open with
 // Options.ArtifactPath then restores it instead of recomputing.
 func (e *Engine) SaveArtifacts(path string) error {
-	snap, err := e.buildSnapshot()
+	snap, err := e.buildSnapshot(e.cur())
 	if err != nil {
 		return err
 	}
@@ -139,50 +153,90 @@ func dirOf(path string) string {
 	return "."
 }
 
-// LoadArtifacts restores the offline tables from a snapshot file
-// previously written by SaveArtifacts. The snapshot must carry this
-// engine's exact fingerprint (same corpus, graph and offline options)
-// and an intact vocabulary, or a wrapped artifact sentinel error
-// (artifact.ErrFingerprint, artifact.ErrChecksum, …) is returned and
-// the engine is left untouched. Open calls this automatically when
-// Options.ArtifactPath is set, falling back to live compute on any
-// error.
-func (e *Engine) LoadArtifacts(path string) error {
+// loadSnapshotFile opens, validates and restores a snapshot file into
+// the given generation — the shared body of LoadArtifacts and
+// ReloadArtifacts.
+func (e *Engine) loadSnapshotFile(g *live.Generation, path string) (*artifact.Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("kqr: loading artifacts: %w", err)
+		return nil, fmt.Errorf("kqr: loading artifacts: %w", err)
 	}
 	defer f.Close()
-	snap, err := artifact.Load(bufio.NewReaderSize(f, 1<<20), e.artifactFingerprint())
+	snap, err := artifact.Load(bufio.NewReaderSize(f, 1<<20), e.artifactFingerprint(g))
 	if err != nil {
-		return fmt.Errorf("kqr: loading artifacts from %s: %w", path, err)
+		return nil, fmt.Errorf("kqr: loading artifacts from %s: %w", path, err)
 	}
-	if err := e.restoreSnapshot(snap); err != nil {
-		return fmt.Errorf("kqr: loading artifacts from %s: %w", path, err)
+	if err := e.restoreSnapshot(g, snap); err != nil {
+		return nil, fmt.Errorf("kqr: loading artifacts from %s: %w", path, err)
 	}
-	e.artifact = ArtifactInfo{Loaded: true, Path: path, FormatVersion: snap.Version}
+	return snap, nil
+}
+
+// LoadArtifacts restores the offline tables from a snapshot file
+// previously written by SaveArtifacts into the current generation. The
+// snapshot must carry this engine's exact fingerprint (same corpus,
+// graph and offline options) and an intact vocabulary, or a wrapped
+// artifact sentinel error (artifact.ErrFingerprint,
+// artifact.ErrChecksum, …) is returned and the engine is left
+// untouched. On success the provenance reported by Artifact and
+// GraphStats updates exactly as if the snapshot had been loaded at Open
+// via Options.ArtifactPath (any earlier FallbackReason clears). Open
+// calls this automatically when Options.ArtifactPath is set, falling
+// back to live compute on any error.
+func (e *Engine) LoadArtifacts(path string) error {
+	snap, err := e.loadSnapshotFile(e.cur(), path)
+	if err != nil {
+		return err
+	}
+	e.setArtifact(ArtifactInfo{Loaded: true, Path: path, FormatVersion: snap.Version})
 	return nil
 }
 
-// restoreSnapshot validates the snapshot's vocabulary against the built
-// graph node by node, then installs the tables into the extractors.
-// The vocabulary check backstops the fingerprint: node ids are only
-// meaningful if every term node still carries the same text and class.
-func (e *Engine) restoreSnapshot(snap *artifact.Snapshot) error {
-	if len(snap.Vocabulary) != e.tg.NumTermNodes() {
+// ReloadArtifacts builds a fresh generation over the current corpus,
+// restores the snapshot into it, and atomically swaps it in as the next
+// epoch (mode "reload") — the SIGHUP path. Unlike LoadArtifacts it
+// never mutates the serving generation, so queries racing the reload
+// see either the old tables or the new ones, wholesale.
+func (e *Engine) ReloadArtifacts(path string) error {
+	cfg, err := e.liveConfig()
+	if err != nil {
+		return err
+	}
+	g, err := live.Build(e.cur().DB, cfg)
+	if err != nil {
+		return fmt.Errorf("kqr: reloading artifacts: %w", err)
+	}
+	snap, err := e.loadSnapshotFile(g, path)
+	if err != nil {
+		return err
+	}
+	if _, err := e.mgr.Swap(g); err != nil {
+		return fmt.Errorf("kqr: reloading artifacts: %w", err)
+	}
+	e.setArtifact(ArtifactInfo{Loaded: true, Path: path, FormatVersion: snap.Version})
+	return nil
+}
+
+// restoreSnapshot validates the snapshot's vocabulary against the
+// generation's graph node by node, then installs the tables into the
+// extractors. The vocabulary check backstops the fingerprint: node ids
+// are only meaningful if every term node still carries the same text
+// and class.
+func (e *Engine) restoreSnapshot(g *live.Generation, snap *artifact.Snapshot) error {
+	if len(snap.Vocabulary) != g.TG.NumTermNodes() {
 		return fmt.Errorf("%w: snapshot has %d vocabulary terms, graph has %d",
-			artifact.ErrFingerprint, len(snap.Vocabulary), e.tg.NumTermNodes())
+			artifact.ErrFingerprint, len(snap.Vocabulary), g.TG.NumTermNodes())
 	}
 	for _, t := range snap.Vocabulary {
-		if int(t.Node) < 0 || int(t.Node) >= e.tg.NumNodes() ||
+		if int(t.Node) < 0 || int(t.Node) >= g.TG.NumNodes() ||
 			int(t.Class) >= len(snap.Classes) ||
-			e.tg.TermText(t.Node) != t.Text ||
-			e.tg.Class(t.Node) != snap.Classes[t.Class] {
+			g.TG.TermText(t.Node) != t.Text ||
+			g.TG.Class(t.Node) != snap.Classes[t.Class] {
 			return fmt.Errorf("%w: vocabulary entry for node %d (%q) does not match the graph",
 				artifact.ErrFingerprint, t.Node, t.Text)
 		}
 	}
-	switch sim := e.sim.(type) {
+	switch sim := g.Sim.(type) {
 	case *randomwalk.Extractor:
 		if snap.Walk == nil {
 			return fmt.Errorf("%w: snapshot has no random-walk section", artifact.ErrFingerprint)
@@ -194,12 +248,12 @@ func (e *Engine) restoreSnapshot(snap *artifact.Snapshot) error {
 		}
 		sim.Restore(snap.Cooccur)
 	default:
-		return fmt.Errorf("kqr: similarity provider %T does not support snapshots", e.sim)
+		return fmt.Errorf("kqr: similarity provider %T does not support snapshots", g.Sim)
 	}
 	if snap.Closeness == nil {
 		snap.Closeness = make(map[graph.NodeID]map[graph.NodeID]float64)
 	}
-	e.clos.Restore(snap.Closeness)
+	g.Clos.Restore(snap.Closeness)
 	return nil
 }
 
@@ -209,6 +263,6 @@ func (e *Engine) restoreSnapshot(snap *artifact.Snapshot) error {
 func (e *Engine) loadArtifactsOrFallback(path string) {
 	if err := e.LoadArtifacts(path); err != nil {
 		log.Printf("kqr: snapshot %s not used (%v); falling back to live compute", path, err)
-		e.artifact = ArtifactInfo{FallbackReason: err.Error()}
+		e.setArtifact(ArtifactInfo{FallbackReason: err.Error()})
 	}
 }

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -233,6 +233,27 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 			fmt.Println("wrote", jsonOut)
 		}
 	}
+	if exp == "live" {
+		ran = true
+		row, err := experiments.LiveChurn(cfg, experiments.LiveConfig{
+			Rounds: 4, BatchSize: 25, Queriers: 4, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("live: %w", err)
+		}
+		fmt.Println(experiments.RenderLive(row))
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteLiveJSON(f, cfg, row); err != nil {
+				return err
+			}
+			fmt.Println("wrote", jsonOut)
+		}
+	}
 	if exp == "synonyms" || exp == "all" {
 		ran = true
 		rows, err := s.SynonymRecall(64)
@@ -242,7 +263,7 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline or snapshot)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot or live)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

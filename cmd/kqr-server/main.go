@@ -31,6 +31,16 @@
 // wait queue that sheds overload as 503 (-max-inflight 0 disables).
 // SIGINT/SIGTERM drain in-flight requests for up to 10 seconds before
 // exit.
+//
+// With -live the index accepts delta batches over POST /api/admin/ingest
+// and swaps in a rebuilt generation on POST /api/admin/promote (or
+// automatically once -staleness-max-deltas accumulate or the oldest
+// staged delta exceeds -staleness-max-age). Retired generations are
+// logged as they are replaced. SIGHUP rebuilds a fresh generation from
+// the -snapshot-load file and swaps it in without dropping a request —
+// a zero-downtime artifact reload. /healthz and /readyz serve liveness
+// and readiness probes; readiness flips on only after warm-up and
+// snapshot restore finish.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -62,6 +73,9 @@ type config struct {
 	cacheTTL    time.Duration
 	maxInflight int
 	maxQueue    int
+	live        bool
+	stalenessN  int
+	stalenessT  time.Duration
 }
 
 func main() {
@@ -78,6 +92,9 @@ func main() {
 	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 5*time.Minute, "response cache entry TTL (0 = no expiry)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently executing requests (0 = unlimited)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 64, "max requests waiting for an execution slot before shedding")
+	flag.BoolVar(&cfg.live, "live", false, "accept delta ingestion and generation promotion via the admin API")
+	flag.IntVar(&cfg.stalenessN, "staleness-max-deltas", 0, "auto-promote once this many deltas are staged (0 = only explicit promote)")
+	flag.DurationVar(&cfg.stalenessT, "staleness-max-age", 0, "auto-promote once the oldest staged delta is this old (0 = no age bound)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-server:", err)
@@ -92,12 +109,22 @@ func run(cfg config) error {
 		return err
 	}
 	eng, err := kqr.Open(corpus.Dataset, kqr.Options{
-		PrecomputeWorkers: cfg.warmWorkers,
-		ArtifactPath:      cfg.snapLoad,
+		PrecomputeWorkers:  cfg.warmWorkers,
+		ArtifactPath:       cfg.snapLoad,
+		Live:               cfg.live,
+		StalenessMaxDeltas: cfg.stalenessN,
+		StalenessMaxAge:    cfg.stalenessT,
+		OnRetire: func(epoch uint64) {
+			fmt.Printf("generation %d retired, epoch %d now serving\n", epoch, epoch+1)
+		},
+		OnPromoteError: func(err error) {
+			fmt.Fprintln(os.Stderr, "kqr-server: auto-promote:", err)
+		},
 	})
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	fmt.Printf("dataset: %s\ngraph:   %s\n", corpus.Dataset.Stats(), eng.GraphStats())
 	loaded := eng.Artifact().Loaded
 	if cfg.snapLoad != "" && !loaded {
@@ -135,7 +162,13 @@ func run(cfg config) error {
 		}
 	}
 
-	opts := []server.Option{server.WithDatasetStats(corpus.Dataset.Stats())}
+	// Startup is synchronous up to this point, so readiness is a simple
+	// latch: /readyz turns 200 just before the listener opens.
+	var ready atomic.Bool
+	opts := []server.Option{
+		server.WithDatasetStats(corpus.Dataset.Stats()),
+		server.WithReadiness(ready.Load),
+	}
 	if cfg.cacheMB > 0 {
 		opts = append(opts, server.WithCache(int64(cfg.cacheMB)<<20, cfg.cacheTTL))
 		fmt.Printf("serving: %d MiB response cache, ttl %v, coalescing on\n", cfg.cacheMB, cfg.cacheTTL)
@@ -144,15 +177,41 @@ func run(cfg config) error {
 		opts = append(opts, server.WithMaxInflight(cfg.maxInflight, cfg.maxQueue))
 		fmt.Printf("serving: max %d in flight, queue %d, overload shed as 503\n", cfg.maxInflight, cfg.maxQueue)
 	}
+	if cfg.live {
+		fmt.Printf("live mode: admin ingestion on, staleness bounds max-deltas=%d max-age=%v\n",
+			cfg.stalenessN, cfg.stalenessT)
+	}
 	srv, err := server.New(eng, opts...)
 	if err != nil {
 		return err
+	}
+
+	// SIGHUP swaps in a generation rebuilt from the snapshot file —
+	// zero-downtime artifact reload. Queries racing the reload see the
+	// old tables or the new ones, never a mix.
+	if cfg.snapLoad != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				fmt.Println("SIGHUP: reloading artifacts from", cfg.snapLoad)
+				start := time.Now()
+				if err := eng.ReloadArtifacts(cfg.snapLoad); err != nil {
+					fmt.Fprintln(os.Stderr, "kqr-server: reload:", err)
+					continue
+				}
+				fmt.Printf("reload done in %v, epoch %d serving\n",
+					time.Since(start).Round(time.Millisecond), eng.Epoch())
+			}
+		}()
+		defer signal.Stop(hup)
 	}
 
 	// Graceful shutdown: SIGINT/SIGTERM stop accepting and drain
 	// in-flight requests under the server's 10s grace period.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ready.Store(true)
 	return srv.Serve(ctx, cfg.addr)
 }
 

@@ -1,18 +1,18 @@
 package kqr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 	"unicode"
 
-	"kqr/internal/closeness"
-	"kqr/internal/cooccur"
 	"kqr/internal/core"
 	"kqr/internal/graph"
-	"kqr/internal/keywordsearch"
-	"kqr/internal/randomwalk"
+	"kqr/internal/live"
 	"kqr/internal/tatgraph"
-	"kqr/internal/textindex"
 )
 
 // SimilarityMode selects the offline term-similarity model.
@@ -101,89 +101,126 @@ type Options struct {
 	// or corpus mismatch — is logged and recorded in Engine.Artifact,
 	// and the engine falls back to live computation. Never fatal.
 	ArtifactPath string
+	// Live enables the delta-ingestion API (Ingest, Promote): the
+	// corpus may change after Open, each promotion building a new
+	// immutable index generation and atomically swapping it in. With
+	// Live false those methods return ErrLiveDisabled.
+	Live bool
+	// StalenessMaxDeltas, in live mode, promotes automatically once
+	// that many deltas are pending (0 = no count bound).
+	StalenessMaxDeltas int
+	// StalenessMaxAge, in live mode, promotes automatically once the
+	// oldest pending delta has waited that long (0 = no age bound).
+	StalenessMaxAge time.Duration
+	// ChurnThreshold is the affected fraction of the vocabulary above
+	// which a promotion abandons targeted cache carry-over and rebuilds
+	// the offline tables in full (default 0.25).
+	ChurnThreshold float64
+	// OnRetire, if set, observes each generation epoch as it stops
+	// being current (after the swap; in-flight requests may still be
+	// finishing on it).
+	OnRetire func(epoch uint64)
+	// OnPromoteError, if set, observes failures of staleness-triggered
+	// automatic promotions, which have no caller to return an error to.
+	OnPromoteError func(error)
 }
 
 // Engine is the opened reformulation system: the TAT graph plus the
-// offline extractors and the online generator. It is safe for
-// concurrent readers.
+// offline extractors and the online generator, packaged as one or more
+// immutable index generations behind an atomic pointer. See the package
+// comment's Concurrency section for which methods may race.
 type Engine struct {
-	tg       *tatgraph.Graph
-	sim      core.SimilarityProvider
-	clos     *closeness.Store
-	core     *core.Engine
-	searcher *keywordsearch.Searcher
-	opts     Options
-	artifact ArtifactInfo
+	mgr  *live.Manager
+	opts Options
+
+	artifactMu sync.Mutex // guards artifact (LoadArtifacts may race readers)
+	artifact   ArtifactInfo
+}
+
+// cur returns the generation serving reads right now — one atomic
+// load. Every query-path method resolves it exactly once and uses that
+// generation end to end, so a concurrent promotion can never hand a
+// request state from two different corpus versions.
+func (e *Engine) cur() *live.Generation { return e.mgr.Current() }
+
+// liveConfig translates public Options into the generation builder's
+// config so initial and promoted generations are wired identically.
+func (e *Engine) liveConfig() (live.Config, error) {
+	var mode live.Mode
+	switch e.opts.Similarity {
+	case ContextualWalk:
+		mode = live.ModeContextual
+	case IndividualWalk:
+		mode = live.ModeIndividual
+	case Cooccurrence:
+		mode = live.ModeCooccur
+	default:
+		return live.Config{}, fmt.Errorf("kqr: unknown similarity mode %d", int(e.opts.Similarity))
+	}
+	alg := core.AlgAStar
+	if e.opts.Algorithm == TopKViterbi {
+		alg = core.AlgTopKViterbi
+	}
+	return live.Config{
+		Mode:              mode,
+		Damping:           e.opts.Damping,
+		Workers:           e.opts.PrecomputeWorkers,
+		ClosenessMaxLen:   e.opts.ClosenessMaxLen,
+		ClosenessBeam:     e.opts.ClosenessBeam,
+		CandidatesPerTerm: e.opts.CandidatesPerTerm,
+		SmoothingLambda:   e.opts.SmoothingLambda,
+		DropOriginal:      e.opts.DropOriginal,
+		AllowDeletion:     e.opts.AllowDeletion,
+		Algorithm:         alg,
+		SearchMaxResults:  e.opts.SearchMaxResults,
+		SearchMaxRadius:   e.opts.SearchMaxRadius,
+		Phrases:           e.opts.Phrases,
+		FoldPlurals:       e.opts.FoldPlurals,
+	}, nil
 }
 
 // Open builds the TAT graph over the dataset and wires the offline and
-// online stages. Building cost is linear in the data size; similarity
-// and closeness are computed lazily per term and cached.
+// online stages into the initial index generation (epoch 1). Building
+// cost is linear in the data size; similarity and closeness are
+// computed lazily per term and cached.
 func Open(d *Dataset, opts Options) (*Engine, error) {
 	if d == nil {
 		return nil, fmt.Errorf("kqr: nil dataset")
 	}
 	d.frozen = true
-	var tokOpts []textindex.TokenizerOption
-	if opts.FoldPlurals {
-		tokOpts = append(tokOpts, textindex.WithPluralFolding())
-	}
-	tg, err := tatgraph.Build(d.db, tatgraph.Options{
-		Phrases:   opts.Phrases,
-		Tokenizer: textindex.NewTokenizer(tokOpts...),
-	})
+	e := &Engine{opts: opts}
+	cfg, err := e.liveConfig()
 	if err != nil {
 		return nil, err
 	}
-	var sim core.SimilarityProvider
-	walkOpts := randomwalk.Options{Damping: opts.Damping, Workers: opts.PrecomputeWorkers}
-	switch opts.Similarity {
-	case ContextualWalk:
-		sim = randomwalk.NewExtractor(tg, randomwalk.Contextual, walkOpts)
-	case IndividualWalk:
-		sim = randomwalk.NewExtractor(tg, randomwalk.Individual, walkOpts)
-	case Cooccurrence:
-		co := cooccur.NewExtractor(tg)
-		co.Workers = opts.PrecomputeWorkers
-		sim = co
-	default:
-		return nil, fmt.Errorf("kqr: unknown similarity mode %d", int(opts.Similarity))
-	}
-	clos, err := closeness.New(tg, closeness.Options{
-		MaxLen:  opts.ClosenessMaxLen,
-		Beam:    opts.ClosenessBeam,
-		Workers: opts.PrecomputeWorkers,
-	})
+	g, err := live.Build(d.db, cfg)
 	if err != nil {
 		return nil, err
 	}
-	alg := core.AlgAStar
-	if opts.Algorithm == TopKViterbi {
-		alg = core.AlgTopKViterbi
+	mopts := live.Options{ChurnThreshold: opts.ChurnThreshold}
+	if opts.Live {
+		mopts.StalenessMaxDeltas = opts.StalenessMaxDeltas
+		mopts.StalenessMaxAge = opts.StalenessMaxAge
 	}
-	eng, err := core.New(tg, sim, clos, core.Options{
-		CandidatesPerTerm: opts.CandidatesPerTerm,
-		SmoothingLambda:   opts.SmoothingLambda,
-		DropOriginal:      opts.DropOriginal,
-		AllowDeletion:     opts.AllowDeletion,
-		Algorithm:         alg,
-	})
+	if opts.OnRetire != nil {
+		retire := opts.OnRetire
+		mopts.OnRetire = func(g *live.Generation) { retire(g.Epoch) }
+	}
+	mopts.OnError = opts.OnPromoteError
+	e.mgr, err = live.NewManager(g, cfg, mopts)
 	if err != nil {
 		return nil, err
 	}
-	searcher, err := keywordsearch.New(tg, keywordsearch.Options{
-		MaxResults: opts.SearchMaxResults,
-		MaxRadius:  opts.SearchMaxRadius,
-	})
-	if err != nil {
-		return nil, err
-	}
-	e := &Engine{tg: tg, sim: sim, clos: clos, core: eng, searcher: searcher, opts: opts}
 	if opts.ArtifactPath != "" {
 		e.loadArtifactsOrFallback(opts.ArtifactPath)
 	}
 	return e, nil
 }
+
+// Close stops the live manager's staleness timer and rejects further
+// ingestion. The current generation keeps serving reads; Close never
+// interrupts in-flight queries.
+func (e *Engine) Close() { e.mgr.Close() }
 
 // Suggestion is one reformulated query.
 type Suggestion struct {
@@ -229,7 +266,7 @@ func quoteTerm(t string) string {
 // Reformulate suggests up to k substitutive queries for the given query
 // terms (a term may be a multi-word name). Terms must occur in the data.
 func (e *Engine) Reformulate(terms []string, k int) ([]Suggestion, error) {
-	refs, err := e.core.Reformulate(terms, k)
+	refs, err := e.cur().Core.Reformulate(terms, k)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +286,7 @@ func (e *Engine) ReformulateQuery(query string, k int) ([]Suggestion, error) {
 // ReformulateRankBased runs the similarity-only baseline (no closeness);
 // exposed for comparison and benchmarking.
 func (e *Engine) ReformulateRankBased(terms []string, k int) ([]Suggestion, error) {
-	refs, err := e.core.ReformulateRankBased(terms, k)
+	refs, err := e.cur().Core.ReformulateRankBased(terms, k)
 	if err != nil {
 		return nil, err
 	}
@@ -278,34 +315,47 @@ type RankedTerm struct {
 // SimilarTerms returns up to k terms similar to the given term under the
 // engine's similarity mode — the offline relation behind suggestions.
 func (e *Engine) SimilarTerms(term string, k int) ([]RankedTerm, error) {
-	node, err := e.core.ResolveTerm(term)
+	g := e.cur()
+	node, err := g.Core.ResolveTerm(term)
 	if err != nil {
 		return nil, err
 	}
-	list, err := e.sim.SimilarNodes(node, k)
+	list, err := g.Sim.SimilarNodes(node, k)
 	if err != nil {
 		return nil, err
 	}
-	return e.toRankedTerms(list), nil
+	return rankedTerms(g.TG, list), nil
 }
+
+// ErrUnknownField reports a field restriction naming a field with no
+// terms in the vocabulary — a "table.column" label that does not exist
+// or is not textual. Match it with errors.Is.
+var ErrUnknownField = errors.New("kqr: unknown field")
 
 // CloseTerms returns up to k terms closest to the given term
 // (the paper's Table I relation). Restrict to one field by passing its
-// "table.column" label, or "" for all fields.
+// "table.column" label, or "" for all fields; a field with no terms in
+// the vocabulary returns an error wrapping ErrUnknownField rather than
+// a silently empty result.
 func (e *Engine) CloseTerms(term string, k int, field string) ([]RankedTerm, error) {
-	node, err := e.core.ResolveTerm(term)
+	g := e.cur()
+	node, err := g.Core.ResolveTerm(term)
 	if err != nil {
 		return nil, err
 	}
-	return e.toRankedTerms(e.clos.CloseTerms(node, k, field)), nil
+	if field != "" && !g.TG.HasTermClass(field) {
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownField, field,
+			strings.Join(g.TG.TermClasses(), ", "))
+	}
+	return rankedTerms(g.TG, g.Clos.CloseTerms(node, k, field)), nil
 }
 
-func (e *Engine) toRankedTerms(list []graph.Scored) []RankedTerm {
+func rankedTerms(tg *tatgraph.Graph, list []graph.Scored) []RankedTerm {
 	out := make([]RankedTerm, len(list))
 	for i, sn := range list {
 		out[i] = RankedTerm{
-			Term:  e.tg.TermText(sn.Node),
-			Field: e.tg.Class(sn.Node),
+			Term:  tg.TermText(sn.Node),
+			Field: tg.Class(sn.Node),
 			Score: sn.Score,
 		}
 	}
@@ -323,7 +373,8 @@ type SearchResult struct {
 // Search runs keyword search over the tuple graph (Definition 3) and
 // returns the result trees plus the total number of results.
 func (e *Engine) Search(terms []string) ([]SearchResult, int, error) {
-	results, total, err := e.searcher.Search(terms)
+	g := e.cur()
+	results, total, err := g.Searcher.Search(terms)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -331,8 +382,8 @@ func (e *Engine) Search(terms []string) ([]SearchResult, int, error) {
 	for i, r := range results {
 		sr := SearchResult{Cost: r.Cost}
 		for _, id := range r.Tuples {
-			if node, ok := e.tg.TupleNode(id); ok {
-				sr.Tuples = append(sr.Tuples, e.tg.DisplayLabel(node))
+			if node, ok := g.TG.TupleNode(id); ok {
+				sr.Tuples = append(sr.Tuples, g.TG.DisplayLabel(node))
 			}
 		}
 		out[i] = sr
@@ -345,16 +396,17 @@ func (e *Engine) Search(terms []string) ([]SearchResult, int, error) {
 // restored from an artifact file, "offline: computed" when they are
 // built live — so operators can tell which mode a replica is in.
 func (e *Engine) GraphStats() string {
+	g := e.cur()
 	return fmt.Sprintf("%d nodes (%d terms), %d edges, %d components, offline: %s",
-		e.tg.NumNodes(), e.tg.NumTermNodes(), e.tg.CSR().NumEdges(), e.tg.CSR().NumComponents(),
-		e.artifact)
+		g.TG.NumNodes(), g.TG.NumTermNodes(), g.TG.CSR().NumEdges(), g.TG.CSR().NumComponents(),
+		e.Artifact())
 }
 
 // Vocabulary returns the distinct normalized term texts in the TAT
 // graph, sorted. It enumerates what Warm precomputes and what a
 // snapshot persists — useful for auditing a replica's offline tables.
 func (e *Engine) Vocabulary() []string {
-	return e.tg.TermTexts()
+	return e.cur().TG.TermTexts()
 }
 
 // ParseQuery splits a query string into terms: any Unicode whitespace
@@ -427,5 +479,112 @@ type SlotExplanation = core.SlotExplanation
 // suggestion previously produced for the query. Only full-length
 // suggestions can be aligned and explained.
 func (e *Engine) Explain(query, suggestion []string) ([]SlotExplanation, error) {
-	return e.core.Explain(query, suggestion)
+	return e.cur().Core.Explain(query, suggestion)
 }
+
+// ---- Live generations -------------------------------------------------
+
+// ErrLiveDisabled is returned by Ingest and Promote when the engine was
+// opened without Options.Live.
+var ErrLiveDisabled = errors.New("kqr: live mode disabled (open with Options.Live)")
+
+// DeltaOp distinguishes the two corpus-change kinds.
+type DeltaOp int
+
+const (
+	// InsertTuple adds one row.
+	InsertTuple DeltaOp = iota
+	// DeleteTuple removes the row whose primary key matches Key; rows
+	// referencing it are removed too (cascade).
+	DeleteTuple
+)
+
+// Delta is one staged corpus change for Engine.Ingest. Values follow
+// Dataset.Insert's conventions: string for TypeString columns; int64,
+// int or int32 for TypeInt.
+type Delta struct {
+	// Op is the change kind.
+	Op DeltaOp
+	// Table names the target table.
+	Table string
+	// Values is the full row in column order (InsertTuple only).
+	Values []any
+	// Key is the primary-key value of the row to remove (DeleteTuple
+	// only).
+	Key any
+}
+
+// GenerationInfo records how the current index generation came to be:
+// its epoch, rebuild mode ("initial", "targeted", "full", "reload"),
+// delta counts, carry-over counts, and per-phase timings.
+type GenerationInfo = live.Provenance
+
+// toLiveDeltas converts public deltas to the internal representation,
+// validating value types (schema validation happens at Ingest).
+func toLiveDeltas(deltas []Delta) ([]live.Delta, error) {
+	out := make([]live.Delta, len(deltas))
+	for i, d := range deltas {
+		ld := live.Delta{Table: d.Table}
+		switch d.Op {
+		case InsertTuple:
+			ld.Op = live.OpInsert
+			vals, err := toValues(d.Values)
+			if err != nil {
+				return nil, fmt.Errorf("kqr: delta %d (insert %s): %w", i, d.Table, err)
+			}
+			ld.Values = vals
+		case DeleteTuple:
+			ld.Op = live.OpDelete
+			key, err := toValue(d.Key)
+			if err != nil {
+				return nil, fmt.Errorf("kqr: delta %d (delete %s): %w", i, d.Table, err)
+			}
+			ld.Key = key
+		default:
+			return nil, fmt.Errorf("kqr: delta %d: unknown op %d", i, int(d.Op))
+		}
+		out[i] = ld
+	}
+	return out, nil
+}
+
+// Ingest validates and stages corpus deltas; they take effect at the
+// next Promote (or automatically once a staleness bound is crossed).
+// The current generation keeps serving unchanged in the meantime.
+func (e *Engine) Ingest(deltas []Delta) error {
+	if !e.opts.Live {
+		return ErrLiveDisabled
+	}
+	ld, err := toLiveDeltas(deltas)
+	if err != nil {
+		return err
+	}
+	return e.mgr.Ingest(ld)
+}
+
+// Promote applies the staged deltas to a copy-on-write rebuild of the
+// corpus, builds the next index generation (recomputing only affected
+// terms when churn is low), and atomically makes it current. In-flight
+// requests finish on the generation they started with. With nothing
+// pending it is a no-op returning the current generation's info.
+func (e *Engine) Promote(ctx context.Context) (GenerationInfo, error) {
+	if !e.opts.Live {
+		return GenerationInfo{}, ErrLiveDisabled
+	}
+	g, err := e.mgr.Promote(ctx)
+	if err != nil {
+		return GenerationInfo{}, err
+	}
+	return g.Provenance, nil
+}
+
+// Generation returns the current generation's provenance.
+func (e *Engine) Generation() GenerationInfo { return e.cur().Provenance }
+
+// Epoch returns the current generation number (1 after Open, +1 per
+// promotion or reload). Epochs are monotonically increasing.
+func (e *Engine) Epoch() uint64 { return e.mgr.Epoch() }
+
+// PendingDeltas returns how many staged deltas await the next
+// promotion.
+func (e *Engine) PendingDeltas() int { return e.mgr.Pending() }

@@ -30,10 +30,11 @@ func (e *Engine) Facets(terms []string, perField int) ([]Facet, error) {
 	if perField < 1 {
 		perField = 5
 	}
+	g := e.cur()
 	queryNodes := make([]graph.NodeID, len(terms))
 	isQuery := make(map[graph.NodeID]bool, len(terms))
 	for i, term := range terms {
-		node, err := e.core.ResolveTerm(term)
+		node, err := g.Core.ResolveTerm(term)
 		if err != nil {
 			return nil, err
 		}
@@ -45,8 +46,8 @@ func (e *Engine) Facets(terms []string, perField int) ([]Facet, error) {
 	// several query terms accumulates.
 	agg := make(map[graph.NodeID]float64)
 	for _, q := range queryNodes {
-		for v, c := range e.clos.From(q) {
-			if e.tg.Kind(v) != tatgraph.KindTerm || isQuery[v] {
+		for v, c := range g.Clos.From(q) {
+			if g.TG.Kind(v) != tatgraph.KindTerm || isQuery[v] {
 				continue
 			}
 			agg[v] += c
@@ -55,7 +56,7 @@ func (e *Engine) Facets(terms []string, perField int) ([]Facet, error) {
 
 	byField := make(map[string][]graph.Scored)
 	for v, c := range agg {
-		field := e.tg.Class(v)
+		field := g.TG.Class(v)
 		byField[field] = append(byField[field], graph.Scored{Node: v, Score: c})
 	}
 
@@ -78,7 +79,7 @@ func (e *Engine) Facets(terms []string, perField int) ([]Facet, error) {
 				score /= norm
 			}
 			f.Terms = append(f.Terms, RankedTerm{
-				Term:  e.tg.TermText(sn.Node),
+				Term:  g.TG.TermText(sn.Node),
 				Field: field,
 				Score: score,
 			})

@@ -1,0 +1,199 @@
+package live
+
+import (
+	"context"
+
+	"kqr/internal/graph"
+	"kqr/internal/relstore"
+	"kqr/internal/tatgraph"
+)
+
+// nodeRemap translates node ids from an old generation's graph to a new
+// one. Term nodes are matched by (field, text); tuple nodes go through
+// the TupleID remap produced by the copy-on-write rebuild. ok is false
+// when the node no longer exists (its tuple was deleted, or a term's
+// last occurrence vanished).
+type nodeRemap struct {
+	oldTG, newTG *tatgraph.Graph
+	tuples       map[relstore.TupleID]relstore.TupleID
+}
+
+func (r nodeRemap) node(v graph.NodeID) (graph.NodeID, bool) {
+	if r.oldTG.Kind(v) == tatgraph.KindTerm {
+		return r.newTG.TermNode(r.oldTG.Class(v), r.oldTG.TermText(v))
+	}
+	oldID, _ := r.oldTG.TupleID(v)
+	newID, ok := r.tuples[oldID]
+	if !ok {
+		return 0, false
+	}
+	return r.newTG.TupleNode(newID)
+}
+
+// changeSeeds collects the new-graph nodes where the corpus changed:
+// the tuple nodes of inserted rows, and the surviving (remapped)
+// neighbors of every deleted tuple — the nodes that lost paths. Rows of
+// collapsed association tables have no node of their own; their
+// foreign-key endpoints stand in.
+func changeSeeds(old *Generation, res *applyResult, newTG *tatgraph.Graph) []graph.NodeID {
+	remap := nodeRemap{oldTG: old.TG, newTG: newTG, tuples: res.remap}
+	seen := make(map[graph.NodeID]bool)
+	var seeds []graph.NodeID
+	add := func(v graph.NodeID) {
+		if !seen[v] {
+			seen[v] = true
+			seeds = append(seeds, v)
+		}
+	}
+	for _, id := range res.inserted {
+		if v, ok := newTG.TupleNode(id); ok {
+			add(v)
+			continue
+		}
+		// Collapsed association row: seed its endpoints instead.
+		refs, err := res.db.References(id)
+		if err != nil {
+			continue // dangling reference; nothing to seed
+		}
+		for _, ref := range refs {
+			if v, ok := newTG.TupleNode(ref); ok {
+				add(v)
+			}
+		}
+	}
+	for _, id := range res.deleted {
+		v, ok := old.TG.TupleNode(id)
+		if !ok {
+			// Collapsed association row: its endpoints lost an edge.
+			refs, err := old.DB.References(id)
+			if err != nil {
+				continue
+			}
+			for _, ref := range refs {
+				if ov, ok := old.TG.TupleNode(ref); ok {
+					if nv, ok := remap.node(ov); ok {
+						add(nv)
+					}
+				}
+			}
+			continue
+		}
+		// The deleted tuple's surviving neighbors lost paths through it.
+		old.TG.CSR().Neighbors(v, func(u graph.NodeID, _ float64) bool {
+			if nv, ok := remap.node(u); ok {
+				add(nv)
+			}
+			return true
+		})
+	}
+	return seeds
+}
+
+// affectedTerms runs a BFS from the change seeds over the new graph and
+// returns every term node within radius hops (seeds included). These
+// are the terms whose walk and closeness entries may have changed;
+// everything farther is unreachable from any change within the
+// closeness horizon and keeps its cached values.
+func affectedTerms(newTG *tatgraph.Graph, seeds []graph.NodeID, radius int) []graph.NodeID {
+	csr := newTG.CSR()
+	dist := make(map[graph.NodeID]int, len(seeds))
+	frontier := make([]graph.NodeID, 0, len(seeds))
+	var terms []graph.NodeID
+	for _, s := range seeds {
+		if _, ok := dist[s]; ok {
+			continue
+		}
+		dist[s] = 0
+		frontier = append(frontier, s)
+		if newTG.Kind(s) == tatgraph.KindTerm {
+			terms = append(terms, s)
+		}
+	}
+	for depth := 1; depth <= radius && len(frontier) > 0; depth++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			csr.Neighbors(v, func(u graph.NodeID, _ float64) bool {
+				if _, seen := dist[u]; seen {
+					return true
+				}
+				dist[u] = depth
+				next = append(next, u)
+				if newTG.Kind(u) == tatgraph.KindTerm {
+					terms = append(terms, u)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	return terms
+}
+
+// carryOver copies the old generation's cached walk and closeness
+// entries into the new generation for every source that is not in the
+// affected set, remapping node ids. Entries whose source or any scored
+// node fails to remap are dropped — the store recomputes them lazily on
+// first use. Returns how many sim and closeness vectors were carried.
+func carryOver(old, next *Generation, res *applyResult, affected []graph.NodeID) (sim, clos int) {
+	remap := nodeRemap{oldTG: old.TG, newTG: next.TG, tuples: res.remap}
+	skip := make(map[graph.NodeID]bool, len(affected))
+	for _, v := range affected {
+		skip[v] = true
+	}
+
+	simSnap := make(map[graph.NodeID][]graph.Scored)
+	for src, scored := range old.Sim.Snapshot() {
+		nsrc, ok := remap.node(src)
+		if !ok || skip[nsrc] {
+			continue
+		}
+		out := make([]graph.Scored, 0, len(scored))
+		for _, sc := range scored {
+			nn, ok := remap.node(sc.Node)
+			if !ok {
+				out = nil
+				break
+			}
+			out = append(out, graph.Scored{Node: nn, Score: sc.Score})
+		}
+		if out == nil && len(scored) > 0 {
+			continue // a scored node vanished; recompute lazily
+		}
+		simSnap[nsrc] = out
+	}
+	next.Sim.Restore(simSnap)
+
+	closSnap := make(map[graph.NodeID]map[graph.NodeID]float64)
+	for src, vec := range old.Clos.Snapshot() {
+		nsrc, ok := remap.node(src)
+		if !ok || skip[nsrc] {
+			continue
+		}
+		out := make(map[graph.NodeID]float64, len(vec))
+		for v, c := range vec {
+			nn, ok := remap.node(v)
+			if !ok {
+				out = nil
+				break
+			}
+			out[nn] = c
+		}
+		if out == nil && len(vec) > 0 {
+			continue
+		}
+		closSnap[nsrc] = out
+	}
+	next.Clos.Restore(closSnap)
+
+	return len(simSnap), len(closSnap)
+}
+
+// precompute warms the new generation's stores for the given term
+// nodes (the affected set for a targeted rebuild, the whole vocabulary
+// for a full one).
+func precompute(ctx context.Context, g *Generation, nodes []graph.NodeID) error {
+	if err := g.Sim.Precompute(ctx, nodes); err != nil {
+		return err
+	}
+	return g.Clos.Precompute(ctx, nodes)
+}

@@ -1,0 +1,275 @@
+package live
+
+import (
+	"fmt"
+
+	"kqr/internal/relstore"
+)
+
+// Op distinguishes the two delta kinds.
+type Op uint8
+
+const (
+	// OpInsert adds one tuple.
+	OpInsert Op = iota
+	// OpDelete removes the tuple whose primary key matches Key.
+	OpDelete
+)
+
+// String names the operation.
+func (o Op) String() string {
+	if o == OpDelete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// Delta is one staged corpus change. Inserts carry the full value row
+// in column order; deletes identify the victim by primary-key value
+// (only tables with a primary key support deletion — association rows
+// disappear with the tuples they link, via cascade).
+type Delta struct {
+	Op     Op
+	Table  string
+	Values []relstore.Value // OpInsert: the row, in column order
+	Key    relstore.Value   // OpDelete: the primary-key value
+}
+
+// String renders the delta for error messages and logs.
+func (d Delta) String() string {
+	if d.Op == OpDelete {
+		return fmt.Sprintf("delete %s[pk=%s]", d.Table, d.Key.Text())
+	}
+	return fmt.Sprintf("insert %s (%d values)", d.Table, len(d.Values))
+}
+
+// validate checks a delta against the schema of the database it will
+// eventually apply to. It is the cheap admission check run at Ingest
+// time; full referential checking happens when the delta is applied.
+func validateDelta(db *relstore.Database, d Delta) error {
+	t, err := db.Table(d.Table)
+	if err != nil {
+		return fmt.Errorf("live: %s: %w", d, err)
+	}
+	s := t.Schema()
+	switch d.Op {
+	case OpInsert:
+		if len(d.Values) != len(s.Columns) {
+			return fmt.Errorf("live: %s: table %q expects %d values", d, d.Table, len(s.Columns))
+		}
+		for i, v := range d.Values {
+			if v.Kind() != s.Columns[i].Kind {
+				return fmt.Errorf("live: %s: column %q expects %s, got %s",
+					d, s.Columns[i].Name, s.Columns[i].Kind, v.Kind())
+			}
+		}
+	case OpDelete:
+		if s.PrimaryKey == "" {
+			return fmt.Errorf("live: %s: table %q has no primary key; association rows are removed by cascade", d, d.Table)
+		}
+		pkKind := s.Columns[s.ColumnIndex(s.PrimaryKey)].Kind
+		if d.Key.Kind() != pkKind {
+			return fmt.Errorf("live: %s: primary key %q expects %s, got %s",
+				d, s.PrimaryKey, pkKind, d.Key.Kind())
+		}
+	default:
+		return fmt.Errorf("live: unknown delta op %d", int(d.Op))
+	}
+	return nil
+}
+
+// applyResult describes the copy-on-write rebuild: the new database,
+// the identity mapping for surviving tuples, and what changed.
+type applyResult struct {
+	db *relstore.Database
+	// remap maps every surviving old tuple to its new identity (row
+	// indexes shift when earlier rows are deleted).
+	remap map[relstore.TupleID]relstore.TupleID
+	// inserted lists the new identities of rows added by deltas.
+	inserted []relstore.TupleID
+	// deleted lists old identities removed — explicit deletes plus
+	// cascades.
+	deleted []relstore.TupleID
+	// cascades counts how many of deleted were cascade removals.
+	cascades int
+}
+
+// topoTables orders table names so every table appears after the tables
+// it references — the order rows must be re-inserted in for foreign-key
+// checks to pass. Cycles (e.g. the self-referencing cites table) are
+// broken by falling back to creation order for the remainder; self
+// references within one table are fine because referenced rows are
+// re-inserted before referencing rows in row order... rows within a
+// table keep their relative order, and the original insertion already
+// satisfied the constraint, so any old row's reference target precedes
+// it.
+func topoTables(db *relstore.Database) ([]string, error) {
+	names := db.TableNames()
+	indeg := make(map[string]int, len(names))
+	dependents := make(map[string][]string, len(names))
+	for _, n := range names {
+		t, err := db.Table(n)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool)
+		for _, fk := range t.Schema().ForeignKeys {
+			if fk.RefTable == n || seen[fk.RefTable] {
+				continue // self-reference or duplicate edge
+			}
+			seen[fk.RefTable] = true
+			indeg[n]++
+			dependents[fk.RefTable] = append(dependents[fk.RefTable], n)
+		}
+	}
+	order := make([]string, 0, len(names))
+	queue := make([]string, 0, len(names))
+	for _, n := range names { // creation order keeps the sort stable
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, d := range dependents[n] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != len(names) { // FK cycle between distinct tables
+		inOrder := make(map[string]bool, len(order))
+		for _, n := range order {
+			inOrder[n] = true
+		}
+		for _, n := range names {
+			if !inOrder[n] {
+				order = append(order, n)
+			}
+		}
+	}
+	return order, nil
+}
+
+// applyDeltas rebuilds base with the deltas applied, copy-on-write: the
+// base database is only read, never mutated, so the generation serving
+// from it is untouched. Deletes cascade — a surviving row that
+// references a deleted row is deleted too (association and citation
+// rows disappear with the tuples they link). Inserts are applied after
+// all base rows, in delta order, so an inserted row may reference
+// another row inserted in the same batch.
+func applyDeltas(base *relstore.Database, deltas []Delta) (*applyResult, error) {
+	// Index the deletions per table by primary-key value.
+	dels := make(map[string]map[string]bool) // table -> pk text key -> true
+	for _, d := range deltas {
+		if d.Op != OpDelete {
+			continue
+		}
+		if dels[d.Table] == nil {
+			dels[d.Table] = make(map[string]bool)
+		}
+		dels[d.Table][valueKey(d.Key)] = true
+	}
+
+	order, err := topoTables(base)
+	if err != nil {
+		return nil, err
+	}
+	db := relstore.NewDatabase()
+	// Recreate every schema in the original creation order so derived
+	// structures (class ids, scan order) stay comparable.
+	for _, name := range base.TableNames() {
+		t, err := base.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CreateTable(t.Schema()); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &applyResult{db: db, remap: make(map[relstore.TupleID]relstore.TupleID)}
+	deleted := make(map[relstore.TupleID]bool)
+
+	// Copy surviving base rows, parents before children, cascading
+	// deletions down the FK graph.
+	for _, name := range order {
+		t, err := base.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		s := t.Schema()
+		pkCol := -1
+		if s.PrimaryKey != "" {
+			pkCol = s.ColumnIndex(s.PrimaryKey)
+		}
+		var scanErr error
+		t.Scan(func(tp relstore.Tuple) bool {
+			if pkCol >= 0 && dels[name][valueKey(tp.Values[pkCol])] {
+				deleted[tp.ID] = true
+				res.deleted = append(res.deleted, tp.ID)
+				return true
+			}
+			// Cascade: drop rows referencing a deleted row.
+			refs, err := base.References(tp.ID)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			for _, ref := range refs {
+				if deleted[ref] {
+					deleted[tp.ID] = true
+					res.deleted = append(res.deleted, tp.ID)
+					res.cascades++
+					return true
+				}
+			}
+			newID, err := db.Insert(name, tp.Values...)
+			if err != nil {
+				scanErr = fmt.Errorf("live: re-inserting %s: %w", tp.ID, err)
+				return false
+			}
+			res.remap[tp.ID] = newID
+			return true
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+
+	// Apply inserts in delta order, skipping rows deleted within the
+	// same batch.
+	for _, d := range deltas {
+		if d.Op != OpInsert {
+			continue
+		}
+		t, err := db.Table(d.Table)
+		if err != nil {
+			return nil, fmt.Errorf("live: %s: %w", d, err)
+		}
+		s := t.Schema()
+		if s.PrimaryKey != "" {
+			if dels[d.Table][valueKey(d.Values[s.ColumnIndex(s.PrimaryKey)])] {
+				continue // inserted then deleted in one batch
+			}
+		}
+		id, err := db.Insert(d.Table, d.Values...)
+		if err != nil {
+			return nil, fmt.Errorf("live: %s: %w", d, err)
+		}
+		res.inserted = append(res.inserted, id)
+	}
+	return res, nil
+}
+
+// valueKey renders a value as a map key, kind-tagged so Int(1) and
+// String("1") stay distinct.
+func valueKey(v relstore.Value) string {
+	if v.Kind() == relstore.KindInt {
+		return "i:" + v.Text()
+	}
+	return "s:" + v.Text()
+}

@@ -1,0 +1,237 @@
+// Package live manages immutable index generations behind an atomic
+// pointer, turning the paper's frozen offline stage (TAT graph,
+// contextual random walk, closeness tables, §IV) into a read path that
+// can follow a changing corpus without downtime.
+//
+// A Generation bundles everything a query touches — the database copy,
+// the TAT graph, the similarity provider, the closeness store, the core
+// HMM engine and the keyword searcher — built together over one corpus
+// state and never mutated afterwards (the per-term caches inside the
+// stores still fill lazily, but only with values derived from that
+// frozen corpus). A Manager holds the current Generation in an atomic
+// pointer and accepts a stream of tuple deltas; Promote applies the
+// staged deltas to a copy-on-write rebuild of the database, constructs
+// the next Generation, and swaps the pointer. Readers that loaded the
+// old pointer finish on the old generation; new requests see the new
+// one. No lock sits on the query path — the only synchronization a
+// reader pays is one atomic load.
+//
+// Promotion chooses between two rebuild modes. A targeted rebuild
+// carries the old generation's cached walk and closeness entries over
+// to the new node numbering for every term whose tuple neighborhood did
+// not change, and recomputes only the affected terms (those within
+// AffectedRadius hops of an inserted or deleted tuple) on the worker
+// pool. Past ChurnThreshold — the affected fraction of the vocabulary —
+// carrying entries over saves less than it costs, and the manager falls
+// back to a full rebuild. A staleness bound (MaxDeltas / MaxAge)
+// promotes automatically so pending deltas cannot accumulate unserved
+// forever.
+package live
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kqr/internal/closeness"
+	"kqr/internal/cooccur"
+	"kqr/internal/core"
+	"kqr/internal/graph"
+	"kqr/internal/keywordsearch"
+	"kqr/internal/randomwalk"
+	"kqr/internal/relstore"
+	"kqr/internal/tatgraph"
+	"kqr/internal/textindex"
+)
+
+// Mode selects the offline similarity model a generation is built with.
+// It mirrors the root package's SimilarityMode so the builder can be
+// driven without importing the root package (which imports this one).
+type Mode int
+
+const (
+	// ModeContextual is the paper's improved contextual random walk.
+	ModeContextual Mode = iota
+	// ModeIndividual restarts the walk at the term itself (ablation).
+	ModeIndividual
+	// ModeCooccur ranks by shared-tuple counts (the paper's baseline).
+	ModeCooccur
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIndividual:
+		return "individual-walk"
+	case ModeCooccur:
+		return "cooccurrence"
+	default:
+		return "contextual-walk"
+	}
+}
+
+// Config carries everything Build needs to construct a generation —
+// the same knobs the root package's Open wires, so every generation of
+// one engine is built identically and cached entries remain comparable
+// across generations.
+type Config struct {
+	// Mode selects the similarity model (default ModeContextual).
+	Mode Mode
+	// Damping is the random-walk restart complement λ (default 0.8).
+	Damping float64
+	// Workers bounds the offline fan-out (<= 0 = GOMAXPROCS).
+	Workers int
+	// ClosenessMaxLen bounds closeness path length in hops (default 4).
+	ClosenessMaxLen int
+	// ClosenessBeam prunes each closeness BFS level (0 = exact).
+	ClosenessBeam int
+	// CandidatesPerTerm is the per-slot candidate list size (default 10).
+	CandidatesPerTerm int
+	// SmoothingLambda is the Eq. 5–6 smoothing weight (default 0.8).
+	SmoothingLambda float64
+	// DropOriginal removes the original term from each slot's candidates.
+	DropOriginal bool
+	// AllowDeletion adds void states so suggestions may drop terms.
+	AllowDeletion bool
+	// Algorithm selects the top-k decoder.
+	Algorithm core.Algorithm
+	// SearchMaxResults caps materialized search result trees.
+	SearchMaxResults int
+	// SearchMaxRadius bounds the keyword-search join radius.
+	SearchMaxRadius int
+	// Phrases also indexes recurring adjacent-word pairs.
+	Phrases bool
+	// FoldPlurals folds regular English plurals during tokenization.
+	FoldPlurals bool
+}
+
+// SimTables is the similarity-provider surface a generation needs
+// beyond answering queries: persistence of the per-term cache (for
+// carry-over between generations and snapshots) and the parallel
+// offline precompute. Both in-tree extractors satisfy it.
+type SimTables interface {
+	core.SimilarityProvider
+	Snapshot() map[graph.NodeID][]graph.Scored
+	Restore(map[graph.NodeID][]graph.Scored)
+	Precompute(ctx context.Context, nodes []graph.NodeID) error
+}
+
+// Provenance records how a generation came to be — the admin API's
+// /api/admin/generation payload and the promote report.
+type Provenance struct {
+	// Epoch is the generation's monotonically increasing number; the
+	// initial generation built by Open is epoch 1.
+	Epoch uint64 `json:"epoch"`
+	// Mode is how the generation was built: "initial", "targeted",
+	// "full", or "reload".
+	Mode string `json:"mode"`
+	// Inserts and Deletes count the deltas applied relative to the
+	// previous generation (zero for "initial" and "reload").
+	Inserts int `json:"inserts"`
+	Deletes int `json:"deletes"`
+	// CascadeDeletes counts rows removed because a row they referenced
+	// was deleted.
+	CascadeDeletes int `json:"cascade_deletes"`
+	// AffectedTerms is how many term nodes fell inside the affected
+	// neighborhood and were recomputed; TotalTerms sizes the vocabulary
+	// it is measured against.
+	AffectedTerms int `json:"affected_terms"`
+	TotalTerms    int `json:"total_terms"`
+	// CarriedSim and CarriedClos count cache entries carried over from
+	// the previous generation in a targeted rebuild.
+	CarriedSim  int `json:"carried_sim"`
+	CarriedClos int `json:"carried_clos"`
+	// Timings of the promotion phases.
+	ApplyDeltas time.Duration `json:"apply_deltas_ns"`
+	BuildGraph  time.Duration `json:"build_graph_ns"`
+	CarryOver   time.Duration `json:"carry_over_ns"`
+	Precompute  time.Duration `json:"precompute_ns"`
+	Total       time.Duration `json:"total_ns"`
+	// PromotedAt is when the generation became current.
+	PromotedAt time.Time `json:"promoted_at"`
+}
+
+// Generation is one immutable index generation: a corpus state plus
+// every derived structure the query path reads. Fields are never
+// reassigned after Build returns; the stores' internal caches fill
+// lazily but are safe for concurrent use.
+type Generation struct {
+	// Epoch is the generation number (assigned by the Manager; 1 for
+	// the initial generation).
+	Epoch uint64
+	// DB is the corpus this generation serves.
+	DB *relstore.Database
+	// TG is the TAT graph built over DB.
+	TG *tatgraph.Graph
+	// Sim is the similarity provider (walk or co-occurrence).
+	Sim SimTables
+	// Clos is the closeness store.
+	Clos *closeness.Store
+	// Core is the online HMM engine.
+	Core *core.Engine
+	// Searcher answers keyword search over the tuple graph.
+	Searcher *keywordsearch.Searcher
+	// Provenance records how this generation was built.
+	Provenance Provenance
+}
+
+// Build constructs a complete generation over db. The caller assigns
+// Epoch and Provenance (Build fills only the structural fields); the
+// root package's Open and the Manager's Promote both funnel through it
+// so a promoted generation is wired exactly like an initial one.
+func Build(db *relstore.Database, cfg Config) (*Generation, error) {
+	if db == nil {
+		return nil, fmt.Errorf("live: nil database")
+	}
+	var tokOpts []textindex.TokenizerOption
+	if cfg.FoldPlurals {
+		tokOpts = append(tokOpts, textindex.WithPluralFolding())
+	}
+	tg, err := tatgraph.Build(db, tatgraph.Options{
+		Phrases:   cfg.Phrases,
+		Tokenizer: textindex.NewTokenizer(tokOpts...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sim SimTables
+	walkOpts := randomwalk.Options{Damping: cfg.Damping, Workers: cfg.Workers}
+	switch cfg.Mode {
+	case ModeContextual:
+		sim = randomwalk.NewExtractor(tg, randomwalk.Contextual, walkOpts)
+	case ModeIndividual:
+		sim = randomwalk.NewExtractor(tg, randomwalk.Individual, walkOpts)
+	case ModeCooccur:
+		co := cooccur.NewExtractor(tg)
+		co.Workers = cfg.Workers
+		sim = co
+	default:
+		return nil, fmt.Errorf("live: unknown similarity mode %d", int(cfg.Mode))
+	}
+	clos, err := closeness.New(tg, closeness.Options{
+		MaxLen:  cfg.ClosenessMaxLen,
+		Beam:    cfg.ClosenessBeam,
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(tg, sim, clos, core.Options{
+		CandidatesPerTerm: cfg.CandidatesPerTerm,
+		SmoothingLambda:   cfg.SmoothingLambda,
+		DropOriginal:      cfg.DropOriginal,
+		AllowDeletion:     cfg.AllowDeletion,
+		Algorithm:         cfg.Algorithm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	searcher, err := keywordsearch.New(tg, keywordsearch.Options{
+		MaxResults: cfg.SearchMaxResults,
+		MaxRadius:  cfg.SearchMaxRadius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Generation{DB: db, TG: tg, Sim: sim, Clos: clos, Core: eng, Searcher: searcher}, nil
+}

@@ -1,0 +1,386 @@
+package live
+
+import (
+	"context"
+	"testing"
+
+	"kqr/internal/relstore"
+	"kqr/internal/testcorpus"
+)
+
+func mustGen(t *testing.T, db *relstore.Database) *Generation {
+	t.Helper()
+	g, err := Build(db, Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func mustManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatalf("testcorpus: %v", err)
+	}
+	m, err := NewManager(mustGen(t, db), Config{}, opts)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func insertPaper(pid int64, title string, cid int64) Delta {
+	return Delta{Op: OpInsert, Table: "papers", Values: []relstore.Value{
+		relstore.Int(pid), relstore.String(title), relstore.Int(cid),
+	}}
+}
+
+func TestBuildWiresGeneration(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGen(t, db)
+	for name, ok := range map[string]bool{
+		"DB": g.DB != nil, "TG": g.TG != nil, "Sim": g.Sim != nil,
+		"Clos": g.Clos != nil, "Core": g.Core != nil, "Searcher": g.Searcher != nil,
+	} {
+		if !ok {
+			t.Errorf("Build left %s nil", name)
+		}
+	}
+	if g.TG.NumTermNodes() == 0 {
+		t.Error("no term nodes")
+	}
+}
+
+func TestValidateDelta(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		d    Delta
+		ok   bool
+	}{
+		{"good insert", insertPaper(100, "stream processing", 1), true},
+		{"good delete", Delta{Op: OpDelete, Table: "papers", Key: relstore.Int(1)}, true},
+		{"unknown table", Delta{Op: OpInsert, Table: "nope", Values: []relstore.Value{relstore.Int(1)}}, false},
+		{"arity", Delta{Op: OpInsert, Table: "papers", Values: []relstore.Value{relstore.Int(1)}}, false},
+		{"kind mismatch", Delta{Op: OpInsert, Table: "papers", Values: []relstore.Value{
+			relstore.String("x"), relstore.String("t"), relstore.Int(1)}}, false},
+		{"delete keyless table", Delta{Op: OpDelete, Table: "writes", Key: relstore.Int(1)}, false},
+		{"delete wrong key kind", Delta{Op: OpDelete, Table: "papers", Key: relstore.String("1")}, false},
+	}
+	for _, c := range cases {
+		err := validateDelta(db, c.d)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestApplyDeltasInsert(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats().Tuples
+	res, err := applyDeltas(db, []Delta{insertPaper(100, "stream processing engines", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.db.Stats().Tuples; got != before+1 {
+		t.Errorf("tuples = %d, want %d", got, before+1)
+	}
+	if db.Stats().Tuples != before {
+		t.Error("base database was mutated")
+	}
+	if len(res.inserted) != 1 || len(res.deleted) != 0 {
+		t.Errorf("inserted=%d deleted=%d", len(res.inserted), len(res.deleted))
+	}
+	// Every base tuple must remap to itself here (no deletions).
+	if len(res.remap) != before {
+		t.Errorf("remap covers %d of %d base tuples", len(res.remap), before)
+	}
+	tbl, err := res.db.Table("papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.LookupPK(relstore.Int(100)); !ok {
+		t.Error("inserted paper not found by PK")
+	}
+}
+
+func TestApplyDeltasDeleteCascades(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper pid=1 has one writes row (Alice). Deleting the paper must
+	// cascade to that row.
+	res, err := applyDeltas(db, []Delta{{Op: OpDelete, Table: "papers", Key: relstore.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.deleted) != 2 {
+		t.Fatalf("deleted %d tuples, want 2 (paper + writes row): %v", len(res.deleted), res.deleted)
+	}
+	if res.cascades != 1 {
+		t.Errorf("cascades = %d, want 1", res.cascades)
+	}
+	tbl, err := res.db.Table("papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.LookupPK(relstore.Int(1)); ok {
+		t.Error("deleted paper still present")
+	}
+	if err := res.db.CheckIntegrity(); err != nil {
+		t.Errorf("integrity after cascade: %v", err)
+	}
+}
+
+func TestApplyDeltasConferenceCascadesThroughPapers(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NETCONF (cid=3) has 2 papers and 3 writes rows; the cascade must
+	// chain conference -> papers -> writes.
+	res, err := applyDeltas(db, []Delta{{Op: OpDelete, Table: "conferences", Key: relstore.Int(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.deleted) != 6 {
+		t.Fatalf("deleted %d tuples, want 6 (conf + 2 papers + 3 writes)", len(res.deleted))
+	}
+	if res.cascades != 5 {
+		t.Errorf("cascades = %d, want 5", res.cascades)
+	}
+	if err := res.db.CheckIntegrity(); err != nil {
+		t.Errorf("integrity: %v", err)
+	}
+}
+
+func TestApplyDeltasInsertThenDeleteSameBatch(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats().Tuples
+	res, err := applyDeltas(db, []Delta{
+		insertPaper(100, "ephemeral paper", 1),
+		{Op: OpDelete, Table: "papers", Key: relstore.Int(100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.db.Stats().Tuples; got != before {
+		t.Errorf("tuples = %d, want %d (insert+delete should cancel)", got, before)
+	}
+}
+
+func TestApplyDeltasInsertReferencingSameBatch(t *testing.T) {
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := applyDeltas(db, []Delta{
+		{Op: OpInsert, Table: "conferences", Values: []relstore.Value{relstore.Int(50), relstore.String("KDD")}},
+		insertPaper(100, "frequent pattern mining", 50),
+	})
+	if err != nil {
+		t.Fatalf("insert referencing same-batch row: %v", err)
+	}
+	if len(res.inserted) != 2 {
+		t.Errorf("inserted %d, want 2", len(res.inserted))
+	}
+}
+
+func TestPromoteInsertMakesTermsQueryable(t *testing.T) {
+	m := mustManager(t, Options{})
+	if err := m.Ingest([]Delta{insertPaper(100, "blockchain consensus protocols", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch != 2 {
+		t.Errorf("epoch = %d, want 2", g.Epoch)
+	}
+	if len(g.TG.FindTerm("blockchain")) == 0 {
+		t.Error("new term not in promoted vocabulary")
+	}
+	if len(m.Current().TG.FindTerm("blockchain")) == 0 {
+		t.Error("Current() does not serve the promoted generation")
+	}
+	p := g.Provenance
+	if p.Inserts != 1 || p.Deletes != 0 {
+		t.Errorf("provenance counts: %+v", p)
+	}
+	if p.Mode != "targeted" && p.Mode != "full" {
+		t.Errorf("provenance mode %q", p.Mode)
+	}
+}
+
+func TestPromoteDeleteRemovesTerms(t *testing.T) {
+	m := mustManager(t, Options{})
+	// "routing" appears only in the two NETCONF papers (pids 10, 11).
+	if err := m.Ingest([]Delta{
+		{Op: OpDelete, Table: "papers", Key: relstore.Int(10)},
+		{Op: OpDelete, Table: "papers", Key: relstore.Int(11)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.TG.FindTerm("routing")) != 0 {
+		t.Error("deleted papers' term still in vocabulary")
+	}
+	if g.Provenance.CascadeDeletes == 0 {
+		t.Error("expected cascade deletes for writes rows")
+	}
+}
+
+func TestPromoteEmptyPendingIsNoop(t *testing.T) {
+	m := mustManager(t, Options{})
+	before := m.Current()
+	g, err := m.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != before {
+		t.Error("empty promote replaced the generation")
+	}
+	if g.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", g.Epoch)
+	}
+}
+
+func TestPromoteFailureRestoresPending(t *testing.T) {
+	m := mustManager(t, Options{})
+	// Valid schema-wise, but the FK target conference does not exist, so
+	// applyDeltas fails at insert time.
+	if err := m.Ingest([]Delta{insertPaper(100, "orphan paper", 999)}); err != nil {
+		t.Fatalf("ingest should pass schema validation: %v", err)
+	}
+	if _, err := m.Promote(context.Background()); err == nil {
+		t.Fatal("expected promote to fail on dangling FK")
+	}
+	if m.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (restored after failure)", m.Pending())
+	}
+	if m.Epoch() != 1 {
+		t.Errorf("epoch advanced to %d on failed promote", m.Epoch())
+	}
+}
+
+func TestTargetedCarryOverMatchesFreshBuild(t *testing.T) {
+	m := mustManager(t, Options{ChurnThreshold: 0.99})
+	old := m.Current()
+	// Warm the whole old generation so there is something to carry.
+	if err := precompute(context.Background(), old, old.TG.TermNodeIDs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest([]Delta{insertPaper(100, "probabilistic stream mining", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Provenance.Mode != "targeted" {
+		t.Fatalf("mode = %q, want targeted (affected %d/%d)",
+			g.Provenance.Mode, g.Provenance.AffectedTerms, g.Provenance.TotalTerms)
+	}
+	if g.Provenance.CarriedSim == 0 && g.Provenance.CarriedClos == 0 {
+		t.Error("targeted promote carried nothing")
+	}
+
+	// Reference: a fresh full build over the same corpus.
+	fresh := mustGen(t, g.DB)
+	for _, v := range g.TG.TermNodeIDs() {
+		want := fresh.Clos.From(v)
+		got := g.Clos.From(v)
+		if len(got) != len(want) {
+			t.Fatalf("node %d (%s): closeness size %d != fresh %d",
+				v, g.TG.DisplayLabel(v), len(got), len(want))
+		}
+		for u, c := range want {
+			if gc := got[u]; gc < c-1e-9 || gc > c+1e-9 {
+				t.Fatalf("node %d -> %d: closeness %v != fresh %v", v, u, gc, c)
+			}
+		}
+	}
+}
+
+func TestChurnThresholdForcesFullRebuild(t *testing.T) {
+	m := mustManager(t, Options{ChurnThreshold: 0.0000001})
+	if err := precompute(context.Background(), m.Current(), m.Current().TG.TermNodeIDs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest([]Delta{insertPaper(100, "quantum error correction", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Provenance.Mode != "full" {
+		t.Errorf("mode = %q, want full under tiny churn threshold", g.Provenance.Mode)
+	}
+	if g.Provenance.CarriedSim != 0 || g.Provenance.CarriedClos != 0 {
+		t.Error("full rebuild must not carry cache entries")
+	}
+}
+
+func TestSwapAssignsReloadEpoch(t *testing.T) {
+	m := mustManager(t, Options{})
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := m.Swap(mustGen(t, db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Epoch != 1 {
+		t.Errorf("retired epoch = %d, want 1", old.Epoch)
+	}
+	g := m.Current()
+	if g.Epoch != 2 || g.Provenance.Mode != "reload" {
+		t.Errorf("swapped generation epoch=%d mode=%q", g.Epoch, g.Provenance.Mode)
+	}
+}
+
+func TestIngestRejectsBadDelta(t *testing.T) {
+	m := mustManager(t, Options{})
+	err := m.Ingest([]Delta{{Op: OpInsert, Table: "nope", Values: []relstore.Value{relstore.Int(1)}}})
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if m.Pending() != 0 {
+		t.Error("rejected batch was staged")
+	}
+}
+
+func TestCloseRejectsIngest(t *testing.T) {
+	m := mustManager(t, Options{})
+	m.Close()
+	if err := m.Ingest([]Delta{insertPaper(100, "x y", 1)}); err == nil {
+		t.Error("ingest after Close should fail")
+	}
+	if _, err := m.Promote(context.Background()); err == nil {
+		t.Error("promote after Close should fail")
+	}
+}

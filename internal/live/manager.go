@@ -1,0 +1,288 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a Manager beyond the generation-building Config.
+type Options struct {
+	// ChurnThreshold is the affected fraction of the vocabulary above
+	// which a promotion abandons targeted carry-over and rebuilds the
+	// caches in full (default 0.25).
+	ChurnThreshold float64
+	// StalenessMaxDeltas triggers an automatic asynchronous promotion
+	// once that many deltas are pending (0 = no count bound).
+	StalenessMaxDeltas int
+	// StalenessMaxAge triggers an automatic asynchronous promotion once
+	// the oldest pending delta has waited that long (0 = no age bound).
+	StalenessMaxAge time.Duration
+	// AffectedRadius is the BFS radius (in hops) defining which terms a
+	// change affects. 0 defaults to the closeness horizon
+	// (Config.ClosenessMaxLen, itself defaulting to 4) — beyond it a
+	// change cannot alter a closeness vector.
+	AffectedRadius int
+	// OnRetire, if set, observes each generation as it stops being
+	// current (after the swap; in-flight readers may still hold it).
+	OnRetire func(*Generation)
+	// OnError, if set, observes failures of staleness-triggered
+	// automatic promotions, which have no caller to return to.
+	OnError func(error)
+}
+
+func (o Options) withDefaults(cfg Config) Options {
+	if o.ChurnThreshold == 0 {
+		o.ChurnThreshold = 0.25
+	}
+	if o.AffectedRadius == 0 {
+		o.AffectedRadius = cfg.ClosenessMaxLen
+	}
+	if o.AffectedRadius == 0 {
+		o.AffectedRadius = 4
+	}
+	return o
+}
+
+// Manager owns the current Generation and the pending delta stream.
+// Current is one atomic load and is safe from any number of goroutines;
+// Ingest, Promote, Swap and Close may also be called concurrently.
+type Manager struct {
+	cfg  Config
+	opts Options
+
+	cur atomic.Pointer[Generation]
+
+	mu       sync.Mutex // guards pending, ageTimer, closed
+	pending  []Delta
+	ageTimer *time.Timer
+	closed   bool
+
+	promoteMu sync.Mutex // serializes promotions and swaps
+}
+
+// NewManager wraps an initial generation (typically from Build). If the
+// generation has no epoch yet it becomes epoch 1 with mode "initial".
+func NewManager(initial *Generation, cfg Config, opts Options) (*Manager, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("live: nil initial generation")
+	}
+	if initial.Epoch == 0 {
+		initial.Epoch = 1
+		initial.Provenance.Epoch = 1
+		if initial.Provenance.Mode == "" {
+			initial.Provenance.Mode = "initial"
+		}
+		initial.Provenance.TotalTerms = initial.TG.NumTermNodes()
+	}
+	m := &Manager{cfg: cfg, opts: opts.withDefaults(cfg)}
+	m.cur.Store(initial)
+	return m, nil
+}
+
+// Current returns the generation serving reads right now. Callers keep
+// using the returned value for the whole request; a promotion happening
+// meanwhile does not disturb it.
+func (m *Manager) Current() *Generation { return m.cur.Load() }
+
+// Epoch returns the current generation's epoch.
+func (m *Manager) Epoch() uint64 { return m.Current().Epoch }
+
+// Pending returns how many deltas are staged for the next promotion.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Ingest validates and stages deltas. It does not rebuild anything; the
+// deltas take effect at the next promotion. Crossing the staleness
+// bounds (pending count, oldest-delta age) schedules an automatic
+// asynchronous promotion.
+func (m *Manager) Ingest(deltas []Delta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	db := m.Current().DB
+	for _, d := range deltas {
+		if err := validateDelta(db, d); err != nil {
+			return err
+		}
+	}
+	var promoteNow bool
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("live: manager closed")
+	}
+	wasEmpty := len(m.pending) == 0
+	m.pending = append(m.pending, deltas...)
+	if m.opts.StalenessMaxDeltas > 0 && len(m.pending) >= m.opts.StalenessMaxDeltas {
+		promoteNow = true
+	}
+	if wasEmpty && m.opts.StalenessMaxAge > 0 && m.ageTimer == nil {
+		m.ageTimer = time.AfterFunc(m.opts.StalenessMaxAge, m.autoPromote)
+	}
+	m.mu.Unlock()
+	if promoteNow {
+		go m.autoPromote()
+	}
+	return nil
+}
+
+// autoPromote runs a staleness-triggered promotion with no caller to
+// report to; failures go to OnError.
+func (m *Manager) autoPromote() {
+	if _, err := m.Promote(context.Background()); err != nil {
+		if m.opts.OnError != nil {
+			m.opts.OnError(err)
+		}
+	}
+}
+
+// Promote applies the staged deltas to a copy-on-write rebuild of the
+// corpus, builds the next generation, and atomically makes it current.
+// With nothing pending it returns the current generation unchanged.
+// On failure the staged deltas are restored and the current generation
+// keeps serving. Promotions are serialized; concurrent callers queue.
+func (m *Manager) Promote(ctx context.Context) (*Generation, error) {
+	m.promoteMu.Lock()
+	defer m.promoteMu.Unlock()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("live: manager closed")
+	}
+	deltas := m.pending
+	m.pending = nil
+	if m.ageTimer != nil {
+		m.ageTimer.Stop()
+		m.ageTimer = nil
+	}
+	m.mu.Unlock()
+
+	old := m.Current()
+	if len(deltas) == 0 {
+		return old, nil
+	}
+
+	next, err := m.build(ctx, old, deltas)
+	if err != nil {
+		// Put the deltas back ahead of anything ingested meanwhile.
+		m.mu.Lock()
+		m.pending = append(deltas, m.pending...)
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.cur.Store(next)
+	if m.opts.OnRetire != nil {
+		m.opts.OnRetire(old)
+	}
+	return next, nil
+}
+
+// build constructs the successor generation: delta application,
+// graph/store construction, targeted-or-full cache strategy, offline
+// precompute, and provenance.
+func (m *Manager) build(ctx context.Context, old *Generation, deltas []Delta) (*Generation, error) {
+	start := time.Now()
+	prov := Provenance{Epoch: old.Epoch + 1}
+	for _, d := range deltas {
+		if d.Op == OpDelete {
+			prov.Deletes++
+		} else {
+			prov.Inserts++
+		}
+	}
+
+	t0 := time.Now()
+	res, err := applyDeltas(old.DB, deltas)
+	if err != nil {
+		return nil, err
+	}
+	prov.ApplyDeltas = time.Since(t0)
+	prov.CascadeDeletes = res.cascades
+
+	t0 = time.Now()
+	next, err := Build(res.db, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	prov.BuildGraph = time.Since(t0)
+	prov.TotalTerms = next.TG.NumTermNodes()
+
+	seeds := changeSeeds(old, res, next.TG)
+	affected := affectedTerms(next.TG, seeds, m.opts.AffectedRadius)
+	prov.AffectedTerms = len(affected)
+
+	full := prov.TotalTerms == 0 ||
+		float64(len(affected))/float64(prov.TotalTerms) > m.opts.ChurnThreshold
+	warm := affected
+	if full {
+		prov.Mode = "full"
+		// Re-warm the whole vocabulary only if the old generation had
+		// been warmed; a cold engine stays lazy and fills on demand.
+		if len(old.Sim.Snapshot()) == 0 {
+			warm = nil
+		} else {
+			warm = next.TG.TermNodeIDs()
+		}
+	} else {
+		prov.Mode = "targeted"
+		t0 = time.Now()
+		prov.CarriedSim, prov.CarriedClos = carryOver(old, next, res, affected)
+		prov.CarryOver = time.Since(t0)
+	}
+
+	if len(warm) > 0 {
+		t0 = time.Now()
+		if err := precompute(ctx, next, warm); err != nil {
+			return nil, err
+		}
+		prov.Precompute = time.Since(t0)
+	}
+
+	prov.Total = time.Since(start)
+	prov.PromotedAt = time.Now()
+	next.Epoch = prov.Epoch
+	next.Provenance = prov
+	return next, nil
+}
+
+// Swap installs an externally built generation (e.g. restored from a
+// snapshot on SIGHUP) as the next epoch with mode "reload", returning
+// the retired generation. Pending deltas stay staged and will apply on
+// top of the swapped-in corpus at the next promotion.
+func (m *Manager) Swap(g *Generation) (*Generation, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: nil generation")
+	}
+	m.promoteMu.Lock()
+	defer m.promoteMu.Unlock()
+	old := m.Current()
+	g.Epoch = old.Epoch + 1
+	g.Provenance.Epoch = g.Epoch
+	g.Provenance.Mode = "reload"
+	g.Provenance.TotalTerms = g.TG.NumTermNodes()
+	g.Provenance.PromotedAt = time.Now()
+	m.cur.Store(g)
+	if m.opts.OnRetire != nil {
+		m.opts.OnRetire(old)
+	}
+	return old, nil
+}
+
+// Close stops the staleness timer and rejects further ingestion. The
+// current generation keeps serving reads.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	if m.ageTimer != nil {
+		m.ageTimer.Stop()
+		m.ageTimer = nil
+	}
+}

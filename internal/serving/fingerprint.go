@@ -48,6 +48,15 @@ func Key(endpoint string, terms []string, opts ...string) string {
 	return b.String()
 }
 
+// EpochKey is Key tagged with an index-generation epoch: entries cached
+// against one generation can never answer requests served by another.
+// Promotion thereby invalidates every stale entry lazily — old-epoch
+// entries just stop being looked up and age out of the LRU — without
+// flushing shards that also hold unrelated live entries.
+func EpochKey(epoch uint64, endpoint string, terms []string, opts ...string) string {
+	return "e" + strconv.FormatUint(epoch, 10) + "|" + Key(endpoint, terms, opts...)
+}
+
 // hashSeed is shared by all caches so a key always lands on the same
 // shard index for a given cache geometry.
 var hashSeed = maphash.MakeSeed()

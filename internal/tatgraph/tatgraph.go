@@ -57,9 +57,10 @@ type Graph struct {
 	classNames []string // class id -> label (table name or "table.column")
 	classDocs  []int    // class id -> document count backing idf
 
-	termNodes  map[classKey]graph.NodeID
-	tupleNodes map[relstore.TupleID]graph.NodeID
-	byText     map[string][]graph.NodeID // term text -> nodes across fields
+	termNodes   map[classKey]graph.NodeID
+	tupleNodes  map[relstore.TupleID]graph.NodeID
+	byText      map[string][]graph.NodeID // term text -> nodes across fields
+	termClasses map[string]bool           // field labels that have term nodes
 
 	db    *relstore.Database
 	index *textindex.Index
@@ -121,11 +122,12 @@ func Build(db *relstore.Database, opts Options) (*Graph, error) {
 		return nil, fmt.Errorf("tatgraph: negative FKWeight %v", opts.FKWeight)
 	}
 	tg := &Graph{
-		termNodes:  make(map[classKey]graph.NodeID),
-		tupleNodes: make(map[relstore.TupleID]graph.NodeID),
-		byText:     make(map[string][]graph.NodeID),
-		db:         db,
-		index:      textindex.NewIndex(opts.Tokenizer),
+		termNodes:   make(map[classKey]graph.NodeID),
+		tupleNodes:  make(map[relstore.TupleID]graph.NodeID),
+		byText:      make(map[string][]graph.NodeID),
+		termClasses: make(map[string]bool),
+		db:          db,
+		index:       textindex.NewIndex(opts.Tokenizer),
 	}
 	b := graph.NewBuilder()
 	classIDs := make(map[string]int32)
@@ -177,6 +179,7 @@ func Build(db *relstore.Database, opts Options) (*Graph, error) {
 		tg.tuples = append(tg.tuples, relstore.TupleID{})
 		tg.termNodes[key] = id
 		tg.byText[term] = append(tg.byText[term], id)
+		tg.termClasses[field] = true
 		return id
 	}
 
@@ -466,6 +469,21 @@ func (tg *Graph) DisplayLabel(v graph.NodeID) string {
 		}
 	}
 	return id.String()
+}
+
+// HasTermClass reports whether the field label ("table.column") has at
+// least one term node — i.e. whether restricting a close-terms query to
+// that field can ever match.
+func (tg *Graph) HasTermClass(field string) bool { return tg.termClasses[field] }
+
+// TermClasses returns the field labels that have term nodes, sorted.
+func (tg *Graph) TermClasses() []string {
+	out := make([]string, 0, len(tg.termClasses))
+	for f := range tg.termClasses {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Classes returns all class labels in creation order.

@@ -44,6 +44,36 @@
 // and falls back to live compute — a stale snapshot can never change
 // results. See internal/artifact for the file format and DESIGN.md §10
 // for the byte layout.
+//
+// # Live generations
+//
+// With Options.Live, the corpus may change after Open: Engine.Ingest
+// stages tuple inserts/deletes and Engine.Promote builds the next
+// immutable index generation and swaps it in atomically — queries never
+// block and never observe a half-updated index. See ARCHITECTURE.md
+// ("Live generations") and DESIGN.md §11.
+//
+// # Concurrency
+//
+// All Engine query methods — Reformulate, ReformulateQuery,
+// ReformulateRankBased, ReformulateSegmented, SimilarTerms, CloseTerms,
+// Search, Facets, SegmentQuery, Explain, GraphStats, Vocabulary,
+// Artifact, Generation, Epoch, PendingDeltas — are safe for unlimited
+// concurrent use, including concurrently with Ingest, Promote,
+// LoadArtifacts, ReloadArtifacts and Close. Each call resolves the
+// current generation once (a single atomic load) and reads only that
+// generation, so a promotion mid-request is invisible to it.
+//
+// The offline-stage writers — Warm, PrecomputeTerms, SaveRelations,
+// LoadRelations, SaveArtifacts, LoadArtifacts, ReloadArtifacts, Ingest,
+// Promote, Close — are individually safe to call from any goroutine
+// (promotions serialize internally), with one caveat: LoadRelations and
+// LoadArtifacts replace the current generation's cached tables in
+// place, so queries racing them may mix pre- and post-load scores
+// (never torn data — the stores swap whole vectors under a lock).
+// ReloadArtifacts installs the snapshot as a fresh generation instead
+// and has no such caveat. Dataset is not safe for concurrent mutation
+// and freezes at Open; change a live corpus through Ingest/Promote.
 package kqr
 
 import (
@@ -153,23 +183,41 @@ func (d *Dataset) Insert(table string, values ...any) error {
 	if d.frozen {
 		return fmt.Errorf("kqr: dataset is frozen (an Engine was opened over it); build a new dataset to add rows")
 	}
+	vals, err := toValues(values)
+	if err != nil {
+		return err
+	}
+	_, err = d.db.Insert(table, vals...)
+	return err
+}
+
+// toValue converts one public value to the storage representation.
+func toValue(v any) (relstore.Value, error) {
+	switch x := v.(type) {
+	case string:
+		return relstore.String(x), nil
+	case int64:
+		return relstore.Int(x), nil
+	case int:
+		return relstore.Int(int64(x)), nil
+	case int32:
+		return relstore.Int(int64(x)), nil
+	default:
+		return relstore.Value{}, fmt.Errorf("kqr: unsupported value type %T", v)
+	}
+}
+
+// toValues converts a public value row to the storage representation.
+func toValues(values []any) ([]relstore.Value, error) {
 	vals := make([]relstore.Value, len(values))
 	for i, v := range values {
-		switch x := v.(type) {
-		case string:
-			vals[i] = relstore.String(x)
-		case int64:
-			vals[i] = relstore.Int(x)
-		case int:
-			vals[i] = relstore.Int(int64(x))
-		case int32:
-			vals[i] = relstore.Int(int64(x))
-		default:
-			return fmt.Errorf("kqr: unsupported value type %T at position %d", v, i)
+		val, err := toValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w at position %d", err, i)
 		}
+		vals[i] = val
 	}
-	_, err := d.db.Insert(table, vals...)
-	return err
+	return vals, nil
 }
 
 // Stats returns a human-readable size summary.

@@ -9,15 +9,8 @@ import (
 
 	"kqr/internal/flight"
 	"kqr/internal/graph"
+	"kqr/internal/live"
 )
-
-// snapshotter is satisfied by the similarity extractors that support
-// offline-relation persistence (the random-walk and co-occurrence
-// providers; any custom provider without it simply cannot be saved).
-type snapshotter interface {
-	Snapshot() map[graph.NodeID][]graph.Scored
-	Restore(map[graph.NodeID][]graph.Scored)
-}
 
 // relationsFile is the on-disk format of the precomputed term relations
 // (gob-encoded). Fingerprint ties a file to the graph it was computed
@@ -28,19 +21,13 @@ type relationsFile struct {
 	Closeness   map[graph.NodeID]map[graph.NodeID]float64
 }
 
-// fingerprint identifies the built graph: structure plus similarity
-// mode, so relations saved under one mode are not restored under
-// another.
-func (e *Engine) fingerprint() string {
+// fingerprint identifies a generation's built graph: structure plus
+// similarity mode, so relations saved under one mode are not restored
+// under another.
+func (e *Engine) fingerprint(g *live.Generation) string {
 	return fmt.Sprintf("kqr/v1 nodes=%d edges=%d classes=%s mode=%d",
-		e.tg.NumNodes(), e.tg.CSR().NumEdges(),
-		strings.Join(e.tg.Classes(), ","), int(e.opts.Similarity))
-}
-
-// precomputer is satisfied by similarity providers that support the
-// parallel offline warm pass (all in-tree providers do).
-type precomputer interface {
-	Precompute(ctx context.Context, nodes []graph.NodeID) error
+		g.TG.NumNodes(), g.TG.CSR().NumEdges(),
+		strings.Join(g.TG.Classes(), ","), int(e.opts.Similarity))
 }
 
 // PrecomputeTerms runs the offline extraction (similarity + closeness)
@@ -53,21 +40,22 @@ type precomputer interface {
 // stage made explicit; combine with SaveRelations to persist it, or use
 // Warm to precompute the whole vocabulary.
 func (e *Engine) PrecomputeTerms(terms []string) error {
+	g := e.cur()
 	return flight.ForEach(context.Background(), e.opts.PrecomputeWorkers, len(terms), func(i int) error {
 		term := terms[i]
-		node, err := e.core.ResolveTerm(term)
+		node, err := g.Core.ResolveTerm(term)
 		if err != nil {
 			return fmt.Errorf("kqr: precompute term %q: %w", term, err)
 		}
 		// Closeness is also needed from every candidate (HMM
 		// transitions start at candidate nodes).
-		cands, err := e.sim.SimilarNodes(node, 0)
+		cands, err := g.Sim.SimilarNodes(node, 0)
 		if err != nil {
 			return fmt.Errorf("kqr: precompute term %q: %w", term, err)
 		}
-		e.clos.From(node)
+		g.Clos.From(node)
 		for _, sn := range cands {
-			e.clos.From(sn.Node)
+			g.Clos.From(sn.Node)
 		}
 		return nil
 	})
@@ -80,13 +68,12 @@ func (e *Engine) PrecomputeTerms(terms []string) error {
 // ever pays first-touch walk latency. Cancel ctx to stop early; the
 // partial warm is kept and the context's error returned.
 func (e *Engine) Warm(ctx context.Context) error {
-	nodes := e.tg.TermNodeIDs()
-	if p, ok := e.sim.(precomputer); ok {
-		if err := p.Precompute(ctx, nodes); err != nil {
-			return fmt.Errorf("kqr: warming similarity: %w", err)
-		}
+	g := e.cur()
+	nodes := g.TG.TermNodeIDs()
+	if err := g.Sim.Precompute(ctx, nodes); err != nil {
+		return fmt.Errorf("kqr: warming similarity: %w", err)
 	}
-	if err := e.clos.Precompute(ctx, nodes); err != nil {
+	if err := g.Clos.Precompute(ctx, nodes); err != nil {
 		return fmt.Errorf("kqr: warming closeness: %w", err)
 	}
 	return nil
@@ -96,14 +83,11 @@ func (e *Engine) Warm(ctx context.Context) error {
 // lists and closeness vectors) to w. Load them into an engine opened
 // over the same dataset with LoadRelations to skip recomputation.
 func (e *Engine) SaveRelations(w io.Writer) error {
-	snap, ok := e.sim.(snapshotter)
-	if !ok {
-		return fmt.Errorf("kqr: similarity provider %T does not support persistence", e.sim)
-	}
+	g := e.cur()
 	file := relationsFile{
-		Fingerprint: e.fingerprint(),
-		Similar:     snap.Snapshot(),
-		Closeness:   e.clos.Snapshot(),
+		Fingerprint: e.fingerprint(g),
+		Similar:     g.Sim.Snapshot(),
+		Closeness:   g.Clos.Snapshot(),
 	}
 	if err := gob.NewEncoder(w).Encode(&file); err != nil {
 		return fmt.Errorf("kqr: encoding relations: %w", err)
@@ -115,19 +99,16 @@ func (e *Engine) SaveRelations(w io.Writer) error {
 // It fails if the engine's graph or similarity mode differs from the
 // one the relations were computed over.
 func (e *Engine) LoadRelations(r io.Reader) error {
-	snap, ok := e.sim.(snapshotter)
-	if !ok {
-		return fmt.Errorf("kqr: similarity provider %T does not support persistence", e.sim)
-	}
+	g := e.cur()
 	var file relationsFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return fmt.Errorf("kqr: decoding relations: %w", err)
 	}
-	if file.Fingerprint != e.fingerprint() {
+	if file.Fingerprint != e.fingerprint(g) {
 		return fmt.Errorf("kqr: relations were computed over a different graph (%q vs %q)",
-			file.Fingerprint, e.fingerprint())
+			file.Fingerprint, e.fingerprint(g))
 	}
-	snap.Restore(file.Similar)
-	e.clos.Restore(file.Closeness)
+	g.Sim.Restore(file.Similar)
+	g.Clos.Restore(file.Closeness)
 	return nil
 }

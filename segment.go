@@ -37,6 +37,7 @@ func (e *Engine) SegmentQuery(query string) ([]string, error) {
 		out = append(out, unit)
 	}
 	// Re-analyze runs of single words for multi-word matches.
+	tg := e.cur().TG
 	result := make([]string, 0, len(out))
 	i := 0
 	for i < len(out) {
@@ -61,7 +62,7 @@ func (e *Engine) SegmentQuery(query string) ([]string, error) {
 				continue
 			}
 			candidate := textindex.Normalize(strings.Join(out[i:i+span], " "))
-			if len(e.tg.FindTerm(candidate)) > 0 {
+			if len(tg.FindTerm(candidate)) > 0 {
 				result = append(result, candidate)
 				matched = span
 				break

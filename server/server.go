@@ -13,6 +13,19 @@
 //	/api/stats                         dataset and graph statistics
 //	/api/metrics                       serving-layer counters and latency quantiles
 //
+// Health probes (always registered, never cached, never shed):
+//
+//	/healthz                           liveness: the process answers
+//	/readyz                            readiness: engine open, warm/restore
+//	                                   finished, current generation promoted
+//
+// Admin endpoints for live-generation management (enabled by engines
+// opened with kqr.Options.Live; they bypass cache and limiter):
+//
+//	POST /api/admin/ingest             stage tuple deltas (JSON body)
+//	POST /api/admin/promote            build + swap in the next generation
+//	GET  /api/admin/generation         current generation provenance
+//
 // Queries use the engine's syntax: whitespace-separated terms, double
 // quotes around multi-word terms.
 //
@@ -57,6 +70,10 @@ type Server struct {
 	flight  flight.Group[string, []byte] // coalesces identical cache misses
 	limiter *serving.Limiter             // nil = no concurrency bound
 	metrics *serving.Metrics
+
+	// ready, when set, gates /readyz beyond the built-in checks (e.g.
+	// "warm finished" in cmd/kqr-server).
+	ready func() bool
 }
 
 // Option customizes a Server.
@@ -86,6 +103,14 @@ func WithMaxInflight(maxInflight, maxQueue int) Option {
 	return func(s *Server) { s.limiter = serving.NewLimiter(maxInflight, maxQueue) }
 }
 
+// WithReadiness adds a readiness condition to /readyz on top of the
+// built-in checks (engine open, initial generation promoted). Use it to
+// hold a replica out of rotation until its warm or snapshot restore has
+// finished. The probe must be safe for concurrent use.
+func WithReadiness(probe func() bool) Option {
+	return func(s *Server) { s.ready = probe }
+}
+
 // New builds a server around an opened engine.
 func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
@@ -97,6 +122,10 @@ func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 	}
 	s.metrics = serving.NewMetrics("reformulate", "search", "similar", "close", "facets", "stats")
 	mux := http.NewServeMux()
+	// Health probes first: they must answer even when the serving stack
+	// (limiter, cache) is saturated, so they bypass it entirely.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /api/reformulate", s.wrap("reformulate", s.handleReformulate, s.keyReformulate))
 	mux.HandleFunc("GET /api/search", s.wrap("search", s.handleSearch, s.keySearch))
 	mux.HandleFunc("GET /api/similar", s.wrap("similar", s.handleSimilar, s.keySimilar))
@@ -104,6 +133,9 @@ func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 	mux.HandleFunc("GET /api/facets", s.wrap("facets", s.handleFacets, s.keyFacets))
 	mux.HandleFunc("GET /api/stats", s.wrap("stats", s.handleStats, nil))
 	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/admin/ingest", s.admin("ingest", s.handleAdminIngest))
+	mux.HandleFunc("POST /api/admin/promote", s.admin("promote", s.handleAdminPromote))
+	mux.HandleFunc("GET /api/admin/generation", s.admin("generation", s.handleAdminGeneration))
 	mux.HandleFunc("GET /", s.handleUI)
 	s.mux = mux
 	return s, nil
@@ -328,6 +360,16 @@ func termParam(r *http.Request) (string, error) {
 // of a query produce identical term slices, k is clamped to its
 // effective value). A return of "" means "do not cache" and leaves
 // error reporting to the handler.
+//
+// Keys are tagged with the engine's current generation epoch
+// (serving.EpochKey): a promotion bumps the epoch, so entries computed
+// against the old corpus stop matching and age out of the LRU — no
+// flush, no serving of stale results.
+
+// key builds an epoch-tagged cache key for the current generation.
+func (s *Server) key(endpoint string, terms []string, opts ...string) string {
+	return serving.EpochKey(s.eng.Epoch(), endpoint, terms, opts...)
+}
 
 func (s *Server) keyReformulate(r *http.Request) string {
 	terms, err := queryParam(r)
@@ -338,7 +380,7 @@ func (s *Server) keyReformulate(r *http.Request) string {
 	if err != nil {
 		return ""
 	}
-	return serving.Key("reformulate", terms, "k="+strconv.Itoa(k))
+	return s.key("reformulate", terms, "k="+strconv.Itoa(k))
 }
 
 func (s *Server) keySearch(r *http.Request) string {
@@ -349,7 +391,7 @@ func (s *Server) keySearch(r *http.Request) string {
 	if _, err := kParam(r, 1, 1); err != nil {
 		return ""
 	}
-	return serving.Key("search", terms)
+	return s.key("search", terms)
 }
 
 func (s *Server) keySimilar(r *http.Request) string {
@@ -361,7 +403,7 @@ func (s *Server) keySimilar(r *http.Request) string {
 	if err != nil {
 		return ""
 	}
-	return serving.Key("similar", []string{term}, "k="+strconv.Itoa(k))
+	return s.key("similar", []string{term}, "k="+strconv.Itoa(k))
 }
 
 func (s *Server) keyClose(r *http.Request) string {
@@ -373,7 +415,7 @@ func (s *Server) keyClose(r *http.Request) string {
 	if err != nil {
 		return ""
 	}
-	return serving.Key("close", []string{term},
+	return s.key("close", []string{term},
 		"k="+strconv.Itoa(k), "field="+r.URL.Query().Get("field"))
 }
 
@@ -386,7 +428,7 @@ func (s *Server) keyFacets(r *http.Request) string {
 	if err != nil {
 		return ""
 	}
-	return serving.Key("facets", terms, "k="+strconv.Itoa(k))
+	return s.key("facets", terms, "k="+strconv.Itoa(k))
 }
 
 // reformulateResponse is the /api/reformulate payload.

@@ -359,7 +359,20 @@ func FuzzCacheKeyCanonical(f *testing.F) {
 	f.Add("probabilistic", "ranking", 5)
 	f.Add("xml", "semi-structured", 10)
 	f.Add("a", "b", 1)
-	s := &Server{}
+	// Key builders read the engine's generation epoch, so even this
+	// key-only fuzz target needs a (tiny) real engine behind the server.
+	corpus, err := synthetic.Bibliography(synthetic.Config{Seed: 1, Topics: 2, Confs: 4, Authors: 5, Papers: 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng, err := kqr.Open(corpus.Dataset, kqr.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := New(eng, WithLogger(log.New(io.Discard, "", 0)))
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Fuzz(func(t *testing.T, t1, t2 string, k int) {
 		// Strip quotes and every whitespace rune so the fuzzed terms
 		// are single tokens under the engine's query syntax.
