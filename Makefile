@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live docs-check fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl docs-check fuzz experiments demo clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 # internal/artifact must carry a godoc comment (vet catches malformed
 # ones; the script catches missing ones).
 docs-check: vet
-	sh scripts/docs-check.sh . internal/artifact internal/live
+	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl
 
 test:
 	$(GO) test ./...
@@ -56,6 +56,14 @@ bench-snapshot:
 # as BENCH_live.json. The run fails on any query error.
 bench-live:
 	$(GO) run ./cmd/kqr-bench -exp live -json BENCH_live.json
+
+# Replication churn: a leader journaling promotions into a delta log
+# with 3 followers tailing it in lockstep under round-robin query load,
+# including a mid-run follower kill/resume, written as BENCH_repl.json.
+# The run fails on any query error, snapshot re-download, or term-table
+# divergence.
+bench-repl:
+	$(GO) run ./cmd/kqr-bench -exp repl -papers 1200 -json BENCH_repl.json
 
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:

@@ -8,10 +8,7 @@ import (
 	"strings"
 
 	"kqr/internal/artifact"
-	"kqr/internal/cooccur"
-	"kqr/internal/graph"
 	"kqr/internal/live"
-	"kqr/internal/randomwalk"
 )
 
 // ArtifactInfo reports the provenance of the engine's offline tables:
@@ -83,31 +80,7 @@ func (e *Engine) artifactFingerprint(g *live.Generation) string {
 // offline stage: the full vocabulary plus whichever similarity table
 // the engine's mode maintains, and the closeness table.
 func (e *Engine) buildSnapshot(g *live.Generation) (*artifact.Snapshot, error) {
-	snap := &artifact.Snapshot{
-		Fingerprint: e.artifactFingerprint(g),
-		Classes:     g.TG.Classes(),
-		Closeness:   g.Clos.Snapshot(),
-	}
-	classIndex := make(map[string]int32, len(snap.Classes))
-	for i, c := range snap.Classes {
-		classIndex[c] = int32(i)
-	}
-	for _, node := range g.TG.TermNodeIDs() {
-		snap.Vocabulary = append(snap.Vocabulary, artifact.Term{
-			Node:  node,
-			Class: classIndex[g.TG.Class(node)],
-			Text:  g.TG.TermText(node),
-		})
-	}
-	switch sim := g.Sim.(type) {
-	case *randomwalk.Extractor:
-		snap.Walk = sim.Snapshot()
-	case *cooccur.Extractor:
-		snap.Cooccur = sim.Snapshot()
-	default:
-		return nil, fmt.Errorf("kqr: similarity provider %T does not support snapshots", g.Sim)
-	}
-	return snap, nil
+	return live.ArtifactSnapshot(g, e.artifactFingerprint(g))
 }
 
 // SaveArtifacts writes the engine's offline tables (similarity and
@@ -223,38 +196,7 @@ func (e *Engine) ReloadArtifacts(path string) error {
 // are only meaningful if every term node still carries the same text
 // and class.
 func (e *Engine) restoreSnapshot(g *live.Generation, snap *artifact.Snapshot) error {
-	if len(snap.Vocabulary) != g.TG.NumTermNodes() {
-		return fmt.Errorf("%w: snapshot has %d vocabulary terms, graph has %d",
-			artifact.ErrFingerprint, len(snap.Vocabulary), g.TG.NumTermNodes())
-	}
-	for _, t := range snap.Vocabulary {
-		if int(t.Node) < 0 || int(t.Node) >= g.TG.NumNodes() ||
-			int(t.Class) >= len(snap.Classes) ||
-			g.TG.TermText(t.Node) != t.Text ||
-			g.TG.Class(t.Node) != snap.Classes[t.Class] {
-			return fmt.Errorf("%w: vocabulary entry for node %d (%q) does not match the graph",
-				artifact.ErrFingerprint, t.Node, t.Text)
-		}
-	}
-	switch sim := g.Sim.(type) {
-	case *randomwalk.Extractor:
-		if snap.Walk == nil {
-			return fmt.Errorf("%w: snapshot has no random-walk section", artifact.ErrFingerprint)
-		}
-		sim.Restore(snap.Walk)
-	case *cooccur.Extractor:
-		if snap.Cooccur == nil {
-			return fmt.Errorf("%w: snapshot has no co-occurrence section", artifact.ErrFingerprint)
-		}
-		sim.Restore(snap.Cooccur)
-	default:
-		return fmt.Errorf("kqr: similarity provider %T does not support snapshots", g.Sim)
-	}
-	if snap.Closeness == nil {
-		snap.Closeness = make(map[graph.NodeID]map[graph.NodeID]float64)
-	}
-	g.Clos.Restore(snap.Closeness)
-	return nil
+	return live.RestoreArtifact(g, snap)
 }
 
 // loadArtifactsOrFallback is Open's never-fatal load path: any failure

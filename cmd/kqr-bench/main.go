@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -32,7 +32,7 @@ func main() {
 		reps    = flag.Int("reps", 3, "timing repetitions")
 		seeds   = flag.Int("seeds", 1, "query seeds for fig5 (>1 reports mean±std)")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
-		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline or -exp snapshot)")
+		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline, snapshot, live or repl)")
 	)
 	flag.Parse()
 
@@ -254,6 +254,27 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 			fmt.Println("wrote", jsonOut)
 		}
 	}
+	if exp == "repl" {
+		ran = true
+		row, err := experiments.ReplChurn(cfg, experiments.ReplConfig{
+			Followers: 3, Rounds: 4, BatchSize: 25, Queriers: 4, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("repl: %w", err)
+		}
+		fmt.Println(experiments.RenderRepl(row))
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteReplJSON(f, cfg, row); err != nil {
+				return err
+			}
+			fmt.Println("wrote", jsonOut)
+		}
+	}
 	if exp == "synonyms" || exp == "all" {
 		ran = true
 		rows, err := s.SynonymRecall(64)
@@ -263,7 +284,7 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot or live)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live or repl)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

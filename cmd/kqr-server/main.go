@@ -41,10 +41,26 @@
 // a zero-downtime artifact reload. /healthz and /readyz serve liveness
 // and readiness probes; readiness flips on only after warm-up and
 // snapshot restore finish.
+//
+// Replication turns one live server into a read-scaling group. On the
+// leader, -repl-dir (with -live) journals every promotion into a
+// durable delta log under that directory and serves the replication
+// protocol on /repl/. A follower runs with -follow pointing at the
+// leader's base URL: it fetches the leader's snapshot (database +
+// offline artifact), opens an engine over it, and tails the delta log,
+// promoting generations in lockstep — no local corpus flags needed,
+// and admin writes are rejected with 409. The follower's /readyz stays
+// 503 until it is within -follow-max-lag promotions of the leader, and
+// /api/metrics reports its replication lag (epoch delta, last applied
+// offset, bytes behind):
+//
+//	kqr-server -addr :8080 -live -repl-dir /var/lib/kqr/log   # leader
+//	kqr-server -addr :8081 -follow http://leader:8080         # follower
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +71,7 @@ import (
 	"time"
 
 	"kqr"
+	"kqr/internal/repl"
 	"kqr/server"
 	"kqr/synthetic"
 )
@@ -76,6 +93,9 @@ type config struct {
 	live        bool
 	stalenessN  int
 	stalenessT  time.Duration
+	replDir     string
+	follow      string
+	followLag   uint64
 }
 
 func main() {
@@ -95,8 +115,15 @@ func main() {
 	flag.BoolVar(&cfg.live, "live", false, "accept delta ingestion and generation promotion via the admin API")
 	flag.IntVar(&cfg.stalenessN, "staleness-max-deltas", 0, "auto-promote once this many deltas are staged (0 = only explicit promote)")
 	flag.DurationVar(&cfg.stalenessT, "staleness-max-age", 0, "auto-promote once the oldest staged delta is this old (0 = no age bound)")
+	flag.StringVar(&cfg.replDir, "repl-dir", "", "journal promotions into a delta log here and serve the replication protocol (needs -live)")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a follower of the leader at this base URL (replaces local corpus flags)")
+	flag.Uint64Var(&cfg.followLag, "follow-max-lag", 1, "max promotions behind the leader before /readyz reports not ready")
 	flag.Parse()
-	if err := run(cfg); err != nil {
+	runFn := run
+	if cfg.follow != "" {
+		runFn = runFollower
+	}
+	if err := runFn(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-server:", err)
 		os.Exit(1)
 	}
@@ -181,6 +208,21 @@ func run(cfg config) error {
 		fmt.Printf("live mode: admin ingestion on, staleness bounds max-deltas=%d max-age=%v\n",
 			cfg.stalenessN, cfg.stalenessT)
 	}
+	if cfg.replDir != "" {
+		if !cfg.live {
+			return fmt.Errorf("-repl-dir needs -live: only promotions are journaled")
+		}
+		mgr, rcfg := eng.Replication()
+		leader, err := repl.NewLeader(mgr, rcfg, cfg.replDir, repl.LeaderOptions{})
+		if err != nil {
+			return err
+		}
+		defer leader.Close()
+		opts = append(opts, server.WithReplicationLeader(leader))
+		st := leader.Status()
+		fmt.Printf("replication leader: delta log in %s (%d segments, next record %d), protocol on /repl/\n",
+			cfg.replDir, st.Segments, st.LogEnd)
+	}
 	srv, err := server.New(eng, opts...)
 	if err != nil {
 		return err
@@ -213,6 +255,79 @@ func run(cfg config) error {
 	defer stop()
 	ready.Store(true)
 	return srv.Serve(ctx, cfg.addr)
+}
+
+// runFollower runs the server in follower mode: the corpus is the
+// leader's, fetched as a snapshot and then kept current by tailing the
+// leader's delta log, so the local corpus/live/snapshot flags don't
+// apply. The serving flags (cache, inflight limits) work as usual.
+func runFollower(cfg config) error {
+	if cfg.live || cfg.replDir != "" {
+		return fmt.Errorf("-follow is exclusive with -live and -repl-dir: a follower only replays the leader's log")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("bootstrapping from leader %s...\n", cfg.follow)
+	f := repl.NewFollower(cfg.follow, repl.FollowerOptions{})
+	start := time.Now()
+	snap, err := f.Bootstrap(ctx)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	eng, err := kqr.Open(kqr.WrapDatabase(snap.DB), kqr.Options{
+		PrecomputeWorkers: cfg.warmWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	mgr, rcfg := eng.Replication()
+	if err := f.Attach(mgr, rcfg, snap); err != nil {
+		return fmt.Errorf("attach: %w", err)
+	}
+	fmt.Printf("bootstrapped at epoch %d in %v\ndataset: %s\ngraph:   %s\n",
+		snap.Epoch, time.Since(start).Round(time.Millisecond), snap.DB.Stats().String(), eng.GraphStats())
+
+	// The tail loop reconnects with backoff on transient failures; only
+	// divergence from the leader's history is terminal, and then the
+	// right move is to exit (and re-bootstrap on restart) rather than
+	// keep serving an abandoned timeline.
+	tailErr := make(chan error, 1)
+	go func() {
+		err := f.Run(ctx)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "kqr-server: replication:", err)
+			stop()
+		}
+		tailErr <- err
+	}()
+
+	var ready atomic.Bool
+	opts := []server.Option{
+		server.WithDatasetStats(snap.DB.Stats().String()),
+		server.WithReadiness(ready.Load),
+		server.WithReplicationFollower(f, cfg.followLag),
+	}
+	if cfg.cacheMB > 0 {
+		opts = append(opts, server.WithCache(int64(cfg.cacheMB)<<20, cfg.cacheTTL))
+		fmt.Printf("serving: %d MiB response cache, ttl %v, coalescing on\n", cfg.cacheMB, cfg.cacheTTL)
+	}
+	if cfg.maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(cfg.maxInflight, cfg.maxQueue))
+		fmt.Printf("serving: max %d in flight, queue %d, overload shed as 503\n", cfg.maxInflight, cfg.maxQueue)
+	}
+	fmt.Printf("follower mode: admin writes rejected, ready within %d promotions of the leader\n", cfg.followLag)
+	srv, err := server.New(eng, opts...)
+	if err != nil {
+		return err
+	}
+	ready.Store(true)
+	serveErr := srv.Serve(ctx, cfg.addr)
+	if err := <-tailErr; err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("replication: %w", err)
+	}
+	return serveErr
 }
 
 // loadOrPrecompute restores cached relations when present, otherwise

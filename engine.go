@@ -588,3 +588,20 @@ func (e *Engine) Epoch() uint64 { return e.mgr.Epoch() }
 // PendingDeltas returns how many staged deltas await the next
 // promotion.
 func (e *Engine) PendingDeltas() int { return e.mgr.Pending() }
+
+// Replication exposes the engine's generation manager and build config
+// to the replication subsystem (internal/repl): the leader journals the
+// manager's epoch transitions, a follower drives the manager in
+// lockstep with the leader's journal. The returned types live in
+// internal packages, so only this module's server and cmd packages can
+// consume them — external callers use the kqr-server -follow mode
+// instead.
+func (e *Engine) Replication() (*live.Manager, live.Config) {
+	cfg, err := e.liveConfig()
+	if err != nil {
+		// Open validated the options; an engine in hand cannot have an
+		// invalid mode.
+		panic(err)
+	}
+	return e.mgr, cfg
+}

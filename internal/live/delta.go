@@ -94,7 +94,7 @@ type applyResult struct {
 	cascades int
 }
 
-// topoTables orders table names so every table appears after the tables
+// TopoTables orders table names so every table appears after the tables
 // it references — the order rows must be re-inserted in for foreign-key
 // checks to pass. Cycles (e.g. the self-referencing cites table) are
 // broken by falling back to creation order for the remainder; self
@@ -102,8 +102,9 @@ type applyResult struct {
 // re-inserted before referencing rows in row order... rows within a
 // table keep their relative order, and the original insertion already
 // satisfied the constraint, so any old row's reference target precedes
-// it.
-func topoTables(db *relstore.Database) ([]string, error) {
+// it. The copy-on-write rebuild and the replication bootstrap stream
+// both re-insert rows in this order.
+func TopoTables(db *relstore.Database) ([]string, error) {
 	names := db.TableNames()
 	indeg := make(map[string]int, len(names))
 	dependents := make(map[string][]string, len(names))
@@ -174,7 +175,7 @@ func applyDeltas(base *relstore.Database, deltas []Delta) (*applyResult, error) 
 		dels[d.Table][valueKey(d.Key)] = true
 	}
 
-	order, err := topoTables(base)
+	order, err := TopoTables(base)
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,10 @@ type Manager struct {
 	closed   bool
 
 	promoteMu sync.Mutex // serializes promotions and swaps
+	// journal, when set, observes every epoch transition under promoteMu
+	// before the new generation becomes current (write-ahead order). A
+	// journal error aborts the transition.
+	journal func(next *Generation, deltas []Delta) error
 }
 
 // NewManager wraps an initial generation (typically from Build). If the
@@ -86,6 +90,20 @@ func NewManager(initial *Generation, cfg Config, opts Options) (*Manager, error)
 // using the returned value for the whole request; a promotion happening
 // meanwhile does not disturb it.
 func (m *Manager) Current() *Generation { return m.cur.Load() }
+
+// SetJournal installs the epoch-transition journal: f runs under the
+// promotion lock for every Promote, Swap and Advance, with the
+// generation about to become current and the deltas that produced it
+// (nil for deltaless transitions such as reloads), *before* the swap is
+// published — write-ahead order, so a journaled transition is durable
+// before any reader can observe it. An error from f aborts the
+// transition (Promote restores its staged deltas). A nil f removes the
+// journal. The replication leader is the intended caller.
+func (m *Manager) SetJournal(f func(next *Generation, deltas []Delta) error) {
+	m.promoteMu.Lock()
+	m.journal = f
+	m.promoteMu.Unlock()
+}
 
 // Epoch returns the current generation's epoch.
 func (m *Manager) Epoch() uint64 { return m.Current().Epoch }
@@ -170,6 +188,11 @@ func (m *Manager) Promote(ctx context.Context) (*Generation, error) {
 	}
 
 	next, err := m.build(ctx, old, deltas)
+	if err == nil && m.journal != nil {
+		if jerr := m.journal(next, deltas); jerr != nil {
+			err = fmt.Errorf("live: journaling promotion: %w", jerr)
+		}
+	}
 	if err != nil {
 		// Put the deltas back ahead of anything ingested meanwhile.
 		m.mu.Lock()
@@ -268,11 +291,76 @@ func (m *Manager) Swap(g *Generation) (*Generation, error) {
 	g.Provenance.Mode = "reload"
 	g.Provenance.TotalTerms = g.TG.NumTermNodes()
 	g.Provenance.PromotedAt = time.Now()
+	if m.journal != nil {
+		if err := m.journal(g, nil); err != nil {
+			return nil, fmt.Errorf("live: journaling reload: %w", err)
+		}
+	}
 	m.cur.Store(g)
 	if m.opts.OnRetire != nil {
 		m.opts.OnRetire(old)
 	}
 	return old, nil
+}
+
+// Install makes g current at the given epoch with the given provenance
+// mode, bypassing the usual previous+1 assignment — the replication
+// follower's bootstrap path, where the epoch is dictated by the leader.
+// The epoch must not move backwards. g may be the current generation
+// itself (bootstrap restores tables in place and then pins the leader's
+// epoch on it). Install is not journaled: a follower replays the
+// leader's journal, it does not write one.
+func (m *Manager) Install(g *Generation, epoch uint64, mode string) error {
+	if g == nil {
+		return fmt.Errorf("live: nil generation")
+	}
+	m.promoteMu.Lock()
+	defer m.promoteMu.Unlock()
+	old := m.Current()
+	if epoch < old.Epoch {
+		return fmt.Errorf("live: install would move epoch backwards (%d < %d)", epoch, old.Epoch)
+	}
+	g.Epoch = epoch
+	g.Provenance.Epoch = epoch
+	g.Provenance.Mode = mode
+	g.Provenance.TotalTerms = g.TG.NumTermNodes()
+	g.Provenance.PromotedAt = time.Now()
+	m.cur.Store(g)
+	if old != g && m.opts.OnRetire != nil {
+		m.opts.OnRetire(old)
+	}
+	return nil
+}
+
+// Advance republishes the current generation under the next epoch with
+// the given provenance mode — the follower's counterpart to a deltaless
+// leader transition (a snapshot reload): the corpus did not change, so
+// the derived state is reused wholesale, but the epoch must advance to
+// stay in lockstep. The returned generation is a shallow copy sharing
+// every store with its predecessor (all of them are immutable or
+// concurrency-safe).
+func (m *Manager) Advance(mode string) (*Generation, error) {
+	m.promoteMu.Lock()
+	defer m.promoteMu.Unlock()
+	old := m.Current()
+	next := *old
+	next.Epoch = old.Epoch + 1
+	next.Provenance = Provenance{
+		Epoch:      next.Epoch,
+		Mode:       mode,
+		TotalTerms: old.TG.NumTermNodes(),
+		PromotedAt: time.Now(),
+	}
+	if m.journal != nil {
+		if err := m.journal(&next, nil); err != nil {
+			return nil, fmt.Errorf("live: journaling advance: %w", err)
+		}
+	}
+	m.cur.Store(&next)
+	if m.opts.OnRetire != nil {
+		m.opts.OnRetire(old)
+	}
+	return &next, nil
 }
 
 // Close stops the staleness timer and rejects further ingestion. The

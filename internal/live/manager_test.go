@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kqr/internal/relstore"
+	"kqr/internal/testcorpus"
 )
 
 // waitFor polls cond until it holds or the deadline passes.
@@ -163,5 +164,84 @@ func TestEpochMonotonicUnderConcurrentPromotes(t *testing.T) {
 	wg.Wait()
 	if m.Epoch() != 6 {
 		t.Errorf("final epoch = %d, want 6", m.Epoch())
+	}
+}
+
+// TestSwapRacesPromoteEpochMonotone drives Swap (the SIGHUP reload
+// path) and Ingest+Promote from separate goroutines while readers watch
+// the epoch. Both transitions serialize on promoteMu and each must bump
+// the epoch by exactly one, so under -race the observed epoch is
+// strictly monotone and the final epoch equals 1 + swaps + promotions.
+func TestSwapRacesPromoteEpochMonotone(t *testing.T) {
+	m := mustManager(t, Options{})
+	const swaps, promotions, readers = 4, 4, 2
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := m.Epoch()
+				if e < last {
+					t.Errorf("epoch went backwards: %d -> %d", last, e)
+					return
+				}
+				last = e
+			}
+		}()
+	}
+
+	var race sync.WaitGroup
+	race.Add(2)
+	errc := make(chan error, swaps+promotions)
+	go func() {
+		defer race.Done()
+		for i := 0; i < swaps; i++ {
+			db, err := testcorpus.New()
+			if err != nil {
+				errc <- err
+				return
+			}
+			g, err := Build(db, Config{})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if _, err := m.Swap(g); err != nil {
+				errc <- fmt.Errorf("swap %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer race.Done()
+		for i := 0; i < promotions; i++ {
+			if err := m.Ingest([]Delta{insertPaper(int64(700+i), fmt.Sprintf("race %d", i), 2)}); err != nil {
+				errc <- fmt.Errorf("ingest %d: %w", i, err)
+				return
+			}
+			if _, err := m.Promote(context.Background()); err != nil {
+				errc <- fmt.Errorf("promote %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	race.Wait()
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := m.Epoch(); got != 1+swaps+promotions {
+		t.Errorf("final epoch = %d, want %d", got, 1+swaps+promotions)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"kqr"
+	"kqr/internal/artifact"
 )
 
 // liveEngine opens the bibliography corpus in live mode.
@@ -172,5 +174,96 @@ func TestLoadArtifactsProvenanceParity(t *testing.T) {
 	}
 	if !got.Loaded || got.Path != path || got.FallbackReason != "" {
 		t.Errorf("LoadArtifacts provenance = %+v", got)
+	}
+}
+
+// TestReloadArtifactsRacesPromoteEpochMonotone is the SIGHUP scenario:
+// snapshot reloads (save → ReloadArtifacts) race concurrent
+// ingest+promote cycles while readers hammer the query path. A reload
+// that loses the race to a promotion fails with the artifact
+// fingerprint sentinel — the snapshot was taken over the pre-promotion
+// corpus — and must leave the engine untouched; a reload that wins
+// bumps the epoch like any other transition. Under -race this asserts
+// the epoch stays strictly monotone and equals 1 + promotions +
+// successful reloads, and that queries never error mid-swap.
+func TestReloadArtifactsRacesPromoteEpochMonotone(t *testing.T) {
+	eng := liveEngine(t)
+	path := filepath.Join(t.TempDir(), "reload.snapshot")
+	const readers = 3
+	const rounds = 4
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+2*rounds)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := uint64(0)
+			for !stop.Load() {
+				epoch := eng.Epoch()
+				if epoch < last {
+					errs <- fmt.Errorf("epoch went backwards: %d after %d", epoch, last)
+					return
+				}
+				last = epoch
+				if _, err := eng.SimilarTerms("probabilistic", 3); err != nil {
+					errs <- fmt.Errorf("SimilarTerms at epoch %d: %w", epoch, err)
+					return
+				}
+			}
+		}()
+	}
+
+	var reloads atomic.Uint64
+	var race sync.WaitGroup
+	race.Add(2)
+	go func() {
+		defer race.Done()
+		for i := 0; i < rounds; i++ {
+			if err := eng.SaveArtifacts(path); err != nil {
+				errs <- fmt.Errorf("save %d: %w", i, err)
+				return
+			}
+			switch err := eng.ReloadArtifacts(path); {
+			case err == nil:
+				reloads.Add(1)
+			case errors.Is(err, artifact.ErrFingerprint):
+				// A promotion landed between save and reload; the stale
+				// snapshot is correctly refused and nothing swapped.
+			default:
+				errs <- fmt.Errorf("reload %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer race.Done()
+		for i := 0; i < rounds; i++ {
+			err := eng.Ingest([]kqr.Delta{{
+				Op:     kqr.InsertTuple,
+				Table:  "papers",
+				Values: []any{800 + i, fmt.Sprintf("reload race %d", i), 1},
+			}})
+			if err != nil {
+				errs <- fmt.Errorf("ingest %d: %w", i, err)
+				return
+			}
+			if _, err := eng.Promote(context.Background()); err != nil {
+				errs <- fmt.Errorf("promote %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	race.Wait()
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	want := uint64(1 + rounds + int(reloads.Load()))
+	if got := eng.Epoch(); got != want {
+		t.Errorf("final epoch = %d, want %d (%d promotions, %d reloads)", got, want, rounds, reloads.Load())
 	}
 }

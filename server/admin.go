@@ -40,6 +40,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		resp.Ready = false
 		resp.Reasons = append(resp.Reasons, "startup not finished")
 	}
+	if s.replFollower != nil && !s.replFollower.CaughtUp(s.replMaxLag) {
+		resp.Ready = false
+		st := s.replFollower.Status()
+		resp.Reasons = append(resp.Reasons, fmt.Sprintf(
+			"replication lag: %d promotions behind leader (bound %d)", st.EpochLag(), s.replMaxLag))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -47,21 +53,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// adminHandler is a JSON-producing admin handler. It receives the
+// ResponseWriter so body-reading handlers can arm http.MaxBytesReader
+// correctly (the writer is how the reader closes the connection after
+// an oversized body); handlers must not write to it — the admin wrapper
+// owns status and body.
+type adminHandler func(w http.ResponseWriter, r *http.Request) (any, error)
+
 // admin adapts a JSON-producing admin handler: no cache, no limiter
-// (operators must reach a saturated server), error-to-status mapping
-// with ErrLiveDisabled as 409, and one log line per request.
-func (s *Server) admin(name string, h func(r *http.Request) (any, error)) http.HandlerFunc {
+// (operators must reach a saturated server), error-to-status mapping —
+// ErrLiveDisabled and ErrFollowerReadOnly as 409, an oversized body as
+// 413 — and one log line per request.
+func (s *Server) admin(name string, h adminHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		w.Header().Set("Content-Type", "application/json")
-		result, err := h(r)
+		result, err := h(w, r)
 		status := http.StatusOK
 		var body []byte
 		if err != nil {
 			var br badRequest
+			var mbe *http.MaxBytesError
 			switch {
-			case errors.Is(err, kqr.ErrLiveDisabled):
+			case errors.Is(err, kqr.ErrLiveDisabled), errors.Is(err, ErrFollowerReadOnly):
 				status = http.StatusConflict
+			case errors.As(err, &mbe):
+				status = http.StatusRequestEntityTooLarge
 			case errors.As(err, &br):
 				status = http.StatusBadRequest
 			default:
@@ -123,9 +140,12 @@ type ingestResponse struct {
 	Epoch   uint64 `json:"epoch"`
 }
 
-func (s *Server) handleAdminIngest(r *http.Request) (any, error) {
+// maxIngestBody bounds the /api/admin/ingest request body.
+const maxIngestBody = 8 << 20
+
+func (s *Server) handleAdminIngest(w http.ResponseWriter, r *http.Request) (any, error) {
 	var req ingestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err := dec.Decode(&req); err != nil {
 		return nil, badRequest{fmt.Errorf("bad ingest body: %w", err)}
 	}
@@ -169,12 +189,39 @@ func (s *Server) handleAdminIngest(r *http.Request) (any, error) {
 	return ingestResponse{Staged: len(deltas), Pending: s.eng.PendingDeltas(), Epoch: s.eng.Epoch()}, nil
 }
 
-func (s *Server) handleAdminPromote(r *http.Request) (any, error) {
+// promoteTimings renders the promotion's per-phase wall-clock costs in
+// human-readable form alongside the raw nanosecond fields the embedded
+// GenerationInfo already carries.
+type promoteTimings struct {
+	ApplyDeltas string `json:"apply_deltas"`
+	BuildGraph  string `json:"build_graph"`
+	CarryOver   string `json:"carry_over"`
+	Precompute  string `json:"precompute"`
+	Total       string `json:"total"`
+}
+
+// promoteResponse is the POST /api/admin/promote payload: the new
+// generation's provenance plus a per-phase timing breakdown.
+type promoteResponse struct {
+	kqr.GenerationInfo
+	Timings promoteTimings `json:"timings"`
+}
+
+func (s *Server) handleAdminPromote(_ http.ResponseWriter, r *http.Request) (any, error) {
 	info, err := s.eng.Promote(r.Context())
 	if err != nil {
 		return nil, err
 	}
-	return info, nil
+	return promoteResponse{
+		GenerationInfo: info,
+		Timings: promoteTimings{
+			ApplyDeltas: info.ApplyDeltas.String(),
+			BuildGraph:  info.BuildGraph.String(),
+			CarryOver:   info.CarryOver.String(),
+			Precompute:  info.Precompute.String(),
+			Total:       info.Total.String(),
+		},
+	}, nil
 }
 
 // generationResponse is the GET /api/admin/generation payload: the
@@ -184,7 +231,7 @@ type generationResponse struct {
 	PendingDeltas int `json:"pending_deltas"`
 }
 
-func (s *Server) handleAdminGeneration(*http.Request) (any, error) {
+func (s *Server) handleAdminGeneration(http.ResponseWriter, *http.Request) (any, error) {
 	return generationResponse{
 		GenerationInfo: s.eng.Generation(),
 		PendingDeltas:  s.eng.PendingDeltas(),

@@ -22,9 +22,17 @@
 // Admin endpoints for live-generation management (enabled by engines
 // opened with kqr.Options.Live; they bypass cache and limiter):
 //
-//	POST /api/admin/ingest             stage tuple deltas (JSON body)
+//	POST /api/admin/ingest             stage tuple deltas (JSON body, 8 MiB cap → 413)
 //	POST /api/admin/promote            build + swap in the next generation
+//	                                   (response includes per-phase timings)
 //	GET  /api/admin/generation         current generation provenance
+//
+// Replication (see internal/repl): WithReplicationLeader mounts the
+// leader protocol under /repl/ (snapshot bootstrap, log stream,
+// status); WithReplicationFollower marks a read-only replica — admin
+// writes answer 409, /readyz requires replication lag within the
+// configured bound, and /api/metrics gains a "replication" block with
+// the epoch delta, last-applied offset and bytes behind.
 //
 // Queries use the engine's syntax: whitespace-separated terms, double
 // quotes around multi-word terms.
@@ -54,6 +62,7 @@ import (
 
 	"kqr"
 	"kqr/internal/flight"
+	"kqr/internal/repl"
 	"kqr/internal/serving"
 )
 
@@ -74,6 +83,13 @@ type Server struct {
 	// ready, when set, gates /readyz beyond the built-in checks (e.g.
 	// "warm finished" in cmd/kqr-server).
 	ready func() bool
+
+	// replLeader, when set, mounts the replication protocol and reports
+	// leader status in metrics; replFollower marks a read-only replica
+	// whose /readyz requires replication lag within replMaxLag.
+	replLeader   *repl.Leader
+	replFollower *repl.Follower
+	replMaxLag   uint64
 }
 
 // Option customizes a Server.
@@ -133,9 +149,14 @@ func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 	mux.HandleFunc("GET /api/facets", s.wrap("facets", s.handleFacets, s.keyFacets))
 	mux.HandleFunc("GET /api/stats", s.wrap("stats", s.handleStats, nil))
 	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	mux.HandleFunc("POST /api/admin/ingest", s.admin("ingest", s.handleAdminIngest))
-	mux.HandleFunc("POST /api/admin/promote", s.admin("promote", s.handleAdminPromote))
+	mux.HandleFunc("POST /api/admin/ingest", s.admin("ingest", s.rejectFollowerWrites(s.handleAdminIngest)))
+	mux.HandleFunc("POST /api/admin/promote", s.admin("promote", s.rejectFollowerWrites(s.handleAdminPromote)))
 	mux.HandleFunc("GET /api/admin/generation", s.admin("generation", s.handleAdminGeneration))
+	if s.replLeader != nil {
+		// The replication protocol bypasses cache and limiter like the
+		// health probes: followers must reach a saturated leader.
+		mux.Handle("GET /repl/", s.replLeader.Handler())
+	}
 	mux.HandleFunc("GET /", s.handleUI)
 	s.mux = mux
 	return s, nil
@@ -202,6 +223,10 @@ type apiError struct {
 type badRequest struct{ err error }
 
 func (b badRequest) Error() string { return b.err.Error() }
+
+// Unwrap exposes the cause so the status mapping can recognize wrapped
+// sentinel errors (e.g. http.MaxBytesError inside a decode failure).
+func (b badRequest) Unwrap() error { return b.err }
 
 // encodeBody marshals a response the way json.Encoder would (trailing
 // newline included) so cached and freshly computed bodies are
@@ -307,12 +332,21 @@ func (s *Server) compute(h func(r *http.Request) (any, error), r *http.Request) 
 	return encodeBody(result)
 }
 
+// metricsResponse is the /api/metrics payload: the serving-layer
+// snapshot plus, on replicated deployments, the replica's replication
+// state.
+type metricsResponse struct {
+	serving.Snapshot
+	Replication *replicationMetrics `json:"replication,omitempty"`
+}
+
 // handleMetrics serves the serving-layer snapshot. It deliberately
 // bypasses the limiter and cache: a saturated server must still answer
 // its own health questions.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.Metrics()); err != nil {
+	resp := metricsResponse{Snapshot: s.Metrics(), Replication: s.replication()}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		s.logger.Printf("%s %s: encode: %v", r.Method, r.URL.Path, err)
 	}
 }
