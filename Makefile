@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl docs-check fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-hotpath docs-check fuzz experiments demo clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 # internal/artifact must carry a godoc comment (vet catches malformed
 # ones; the script catches missing ones).
 docs-check: vet
-	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl
+	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed
 
 test:
 	$(GO) test ./...
@@ -64,6 +64,14 @@ bench-live:
 # divergence.
 bench-repl:
 	$(GO) run ./cmd/kqr-bench -exp repl -papers 1200 -json BENCH_repl.json
+
+# Zero-alloc decode hot path: the packed+pooled DecodePaths vs the
+# pointer-chasing reference — allocs/op, B/op, p50/p99, plus a
+# bit-identity check over the full synthetic vocabulary, written as
+# BENCH_hotpath.json. -strict fails the run if the warmed fast path
+# allocates, so this target doubles as the regression gate.
+bench-hotpath:
+	$(GO) run ./cmd/kqr-bench -exp hotpath -strict -json BENCH_hotpath.json
 
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, hotpath")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -32,19 +32,20 @@ func main() {
 		reps    = flag.Int("reps", 3, "timing repetitions")
 		seeds   = flag.Int("seeds", 1, "query seeds for fig5 (>1 reports mean±std)")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
-		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline, snapshot, live or repl)")
+		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline, snapshot, live, repl or hotpath)")
+		strict  = flag.Bool("strict", false, "with -exp hotpath, fail if the warmed fast path allocates (CI regression gate)")
 	)
 	flag.Parse()
 
 	if err := run(*exp, dblpgen.Config{
 		Seed: *seed, Topics: *topics, Confs: *confs, Authors: *authors, Papers: *papers,
-	}, *n, experiments.TimingConfig{QueriesPerPoint: *queries, Reps: *reps}, *seeds, *csvDir, *jsonOut); err != nil {
+	}, *n, experiments.TimingConfig{QueriesPerPoint: *queries, Reps: *reps}, *seeds, *csvDir, *jsonOut, *strict); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, fig5Seeds int, csvDir, jsonOut string) error {
+func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, fig5Seeds int, csvDir, jsonOut string, strict bool) error {
 	writeCSV := func(name string, write func(w *os.File) error) error {
 		if csvDir == "" {
 			return nil
@@ -275,6 +276,27 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 			fmt.Println("wrote", jsonOut)
 		}
 	}
+	if exp == "hotpath" {
+		ran = true
+		row, err := s.Hotpath(experiments.HotpathConfig{
+			Queries: tcfg.QueriesPerPoint, Seed: cfg.Seed, Strict: strict,
+		})
+		if err != nil {
+			return fmt.Errorf("hotpath: %w", err)
+		}
+		fmt.Println(experiments.RenderHotpath(row))
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteHotpathJSON(f, cfg, row); err != nil {
+				return err
+			}
+			fmt.Println("wrote", jsonOut)
+		}
+	}
 	if exp == "synonyms" || exp == "all" {
 		ran = true
 		rows, err := s.SynonymRecall(64)
@@ -284,7 +306,7 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live or repl)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl or hotpath)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

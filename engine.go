@@ -312,9 +312,19 @@ type RankedTerm struct {
 	Score float64
 }
 
+// ErrBadK reports a non-positive result bound passed to SimilarTerms or
+// CloseTerms. The internal stores treat k <= 0 as "no limit"; at the
+// public surface that silently returned the entire vocabulary-sized
+// relation, so it is rejected instead. Match it with errors.Is.
+var ErrBadK = errors.New("kqr: k must be at least 1")
+
 // SimilarTerms returns up to k terms similar to the given term under the
 // engine's similarity mode — the offline relation behind suggestions.
+// k must be at least 1 (ErrBadK otherwise).
 func (e *Engine) SimilarTerms(term string, k int) ([]RankedTerm, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, k)
+	}
 	g := e.cur()
 	node, err := g.Core.ResolveTerm(term)
 	if err != nil {
@@ -333,11 +343,15 @@ func (e *Engine) SimilarTerms(term string, k int) ([]RankedTerm, error) {
 var ErrUnknownField = errors.New("kqr: unknown field")
 
 // CloseTerms returns up to k terms closest to the given term
-// (the paper's Table I relation). Restrict to one field by passing its
-// "table.column" label, or "" for all fields; a field with no terms in
-// the vocabulary returns an error wrapping ErrUnknownField rather than
-// a silently empty result.
+// (the paper's Table I relation). k must be at least 1 (ErrBadK
+// otherwise). Restrict to one field by passing its "table.column"
+// label, or "" for all fields; a field with no terms in the vocabulary
+// returns an error wrapping ErrUnknownField rather than a silently
+// empty result.
 func (e *Engine) CloseTerms(term string, k int, field string) ([]RankedTerm, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, k)
+	}
 	g := e.cur()
 	node, err := g.Core.ResolveTerm(term)
 	if err != nil {

@@ -31,6 +31,7 @@ import (
 
 	"kqr/internal/flight"
 	"kqr/internal/graph"
+	"kqr/internal/packed"
 	"kqr/internal/tatgraph"
 )
 
@@ -71,6 +72,12 @@ type Store struct {
 
 	mu    sync.Mutex
 	cache map[graph.NodeID]map[graph.NodeID]float64
+
+	// pk is the CSR-packed, read-only image of cache published by Pack;
+	// Clos serves from it with a binary probe over one contiguous row —
+	// the decoder's TransFunc hot path — falling back to the map cache
+	// for sources packed after the last Pack.
+	pk atomic.Pointer[packed.ClosTable]
 
 	flight   flight.Group[graph.NodeID, map[graph.NodeID]float64]
 	searches atomic.Int64 // searches actually executed (cold misses)
@@ -153,7 +160,9 @@ func (s *Store) search(v graph.NodeID) map[graph.NodeID]float64 {
 		for u, c := range nextCounts {
 			dist[u] = depth
 			counts[u] = c
-			out[u] = c / float64(depth)
+			// Publish boundary: quantize so the float32 packed rows
+			// reproduce the cached values bit for bit (packed.Quantize).
+			out[u] = packed.Quantize(c / float64(depth))
 			next = append(next, layerEntry{node: u, count: c})
 		}
 		if s.opts.Beam > 0 && len(next) > s.opts.Beam {
@@ -175,8 +184,24 @@ func (s *Store) search(v graph.NodeID) map[graph.NodeID]float64 {
 // Clos returns clos(a, b): the shortest-path count from a to b divided
 // by the distance, 0 if b is unreachable within MaxLen. Identity is
 // defined as 0 — closeness measures co-coverage between *different*
-// terms.
+// terms. Packed rows are probed first (no lock, no map), so a warmed
+// store answers the decoder's transition lookups allocation-free.
 func (s *Store) Clos(a, b graph.NodeID) float64 {
+	if a == b {
+		return 0
+	}
+	if t := s.pk.Load(); t != nil {
+		if v, ok := t.Lookup(a, b); ok {
+			return v
+		}
+	}
+	return s.From(a)[b]
+}
+
+// ClosMap is Clos restricted to the map cache, bypassing the packed
+// table. It exists as the pointer-path baseline for the hotpath
+// benchmark and the packed-vs-map equivalence tests.
+func (s *Store) ClosMap(a, b graph.NodeID) float64 {
 	if a == b {
 		return 0
 	}
@@ -251,16 +276,29 @@ func (s *Store) Snapshot() map[graph.NodeID]map[graph.NodeID]float64 {
 	return out
 }
 
-// Restore replaces the cache with previously snapshotted vectors.
+// Restore replaces the cache with previously snapshotted vectors
+// (quantized onto the float32 publish grid) and repacks the flat
+// table, so restored state serves from the packed path immediately.
 func (s *Store) Restore(snap map[graph.NodeID]map[graph.NodeID]float64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.cache = make(map[graph.NodeID]map[graph.NodeID]float64, len(snap))
 	for v, m := range snap {
 		cp := make(map[graph.NodeID]float64, len(m))
 		for u, c := range m {
-			cp[u] = c
+			cp[u] = packed.Quantize(c)
 		}
 		s.cache[v] = cp
 	}
+	s.mu.Unlock()
+	s.Pack()
+}
+
+// Pack republishes the CSR-packed image of the current cache. Call it
+// after bulk fills (Precompute; Restore does so itself); sources cached
+// later serve through the map fallback until the next call.
+func (s *Store) Pack() {
+	s.mu.Lock()
+	t := packed.BuildClos(s.tg.CSR().NumNodes(), s.cache)
+	s.mu.Unlock()
+	s.pk.Store(t)
 }

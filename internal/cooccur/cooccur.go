@@ -18,6 +18,7 @@ import (
 
 	"kqr/internal/flight"
 	"kqr/internal/graph"
+	"kqr/internal/packed"
 	"kqr/internal/tatgraph"
 )
 
@@ -42,6 +43,10 @@ type Extractor struct {
 
 	mu    sync.Mutex
 	cache map[graph.NodeID][]graph.Scored
+
+	// pk is the CSR-packed, read-only image of cache published by Pack;
+	// see randomwalk.Extractor for the protocol.
+	pk atomic.Pointer[packed.SimTable]
 
 	flight   flight.Group[graph.NodeID, []graph.Scored]
 	extracts atomic.Int64 // extractions actually executed (cold misses)
@@ -175,6 +180,11 @@ func (e *Extractor) extract(t0 graph.NodeID) []graph.Scored {
 			out[i].Score /= norm
 		}
 	}
+	// Publish boundary: quantize so the float32 packed rows reproduce
+	// the cached values bit for bit (see packed.Quantize).
+	for i := range out {
+		out[i].Score = packed.Quantize(out[i].Score)
+	}
 	return out
 }
 
@@ -191,16 +201,41 @@ func (e *Extractor) Snapshot() map[graph.NodeID][]graph.Scored {
 	return out
 }
 
-// Restore replaces the cache with previously snapshotted lists.
+// Restore replaces the cache with previously snapshotted lists
+// (quantized onto the float32 publish grid) and repacks the flat table,
+// so restored state serves from the packed path immediately.
 func (e *Extractor) Restore(snap map[graph.NodeID][]graph.Scored) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.cache = make(map[graph.NodeID][]graph.Scored, len(snap))
 	for v, list := range snap {
 		cp := make([]graph.Scored, len(list))
 		copy(cp, list)
+		for i := range cp {
+			cp[i].Score = packed.Quantize(cp[i].Score)
+		}
 		e.cache[v] = cp
 	}
+	e.mu.Unlock()
+	e.Pack()
+}
+
+// Pack republishes the CSR-packed image of the current cache; rows
+// cached later serve through the map fallback until the next call.
+func (e *Extractor) Pack() {
+	e.mu.Lock()
+	t := packed.BuildSim(e.tg.CSR().NumNodes(), e.cache)
+	e.mu.Unlock()
+	e.pk.Store(t)
+}
+
+// SimRow returns t0's packed candidate row in rank order with ok=false
+// when absent — the allocation-free hot-path view; see
+// randomwalk.Extractor.SimRow.
+func (e *Extractor) SimRow(t0 graph.NodeID) ([]graph.NodeID, []float32, bool) {
+	if t := e.pk.Load(); t != nil {
+		return t.Row(t0)
+	}
+	return nil, nil, false
 }
 
 // Sim returns the normalized co-occurrence similarity of t to t0, 0 if

@@ -1,0 +1,36 @@
+package cooccur
+
+import (
+	"context"
+	"testing"
+)
+
+// The packed fast path must mirror the map path exactly; see the
+// randomwalk analogue for the invariant.
+func TestPackedSimRowMatchesSimilarNodes(t *testing.T) {
+	tg, ex := fixture(t)
+	terms := tg.TermNodeIDs()
+	if err := ex.Precompute(context.Background(), terms); err != nil {
+		t.Fatal(err)
+	}
+	ex.Pack()
+	for _, v := range terms {
+		want, err := ex.SimilarNodes(v, maxKept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes, scores, ok := ex.SimRow(v)
+		if !ok {
+			t.Fatalf("term %d precomputed but not packed", v)
+		}
+		if len(nodes) != len(want) {
+			t.Fatalf("term %d: packed row has %d entries, map has %d", v, len(nodes), len(want))
+		}
+		for i := range want {
+			if nodes[i] != want[i].Node || float64(scores[i]) != want[i].Score {
+				t.Fatalf("term %d rank %d: packed (%d, %v) != map (%d, %v)",
+					v, i, nodes[i], float64(scores[i]), want[i].Node, want[i].Score)
+			}
+		}
+	}
+}

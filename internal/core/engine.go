@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"kqr/internal/graph"
 	"kqr/internal/hmm"
@@ -30,6 +31,20 @@ type SimilarityProvider interface {
 // ClosenessProvider supplies the pairwise closeness relation.
 type ClosenessProvider interface {
 	Clos(a, b graph.NodeID) float64
+}
+
+// simRowProvider is the optional packed fast path of a
+// SimilarityProvider: a lock-free, allocation-free view of a term's
+// rank-ordered candidate row. Detected by type assertion at New.
+type simRowProvider interface {
+	SimRow(t0 graph.NodeID) ([]graph.NodeID, []float32, bool)
+}
+
+// closMapProvider is the optional map-only read path of a
+// ClosenessProvider, bypassing its packed table. The Ref pointer-path
+// baseline uses it so benchmarks compare flat vs map end to end.
+type closMapProvider interface {
+	ClosMap(a, b graph.NodeID) float64
 }
 
 // Algorithm selects the top-k decoder.
@@ -105,6 +120,15 @@ type Engine struct {
 	sim  SimilarityProvider
 	clos ClosenessProvider
 	opts Options
+
+	// simRow is sim's packed fast path (nil when unsupported); closMap
+	// is clos's map-only path (clos.Clos when unsupported). Both are
+	// bound once at New so the hot path pays no per-query assertions.
+	simRow  func(graph.NodeID) ([]graph.NodeID, []float32, bool)
+	closMap func(a, b graph.NodeID) float64
+
+	// pool recycles per-query decode scratch (see queryScratch).
+	pool sync.Pool
 }
 
 // New builds an engine over a TAT graph with the given providers.
@@ -116,7 +140,16 @@ func New(tg *tatgraph.Graph, sim SimilarityProvider, clos ClosenessProvider, opt
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{tg: tg, sim: sim, clos: clos, opts: opts}, nil
+	e := &Engine{tg: tg, sim: sim, clos: clos, opts: opts}
+	if sr, ok := sim.(simRowProvider); ok {
+		e.simRow = sr.SimRow
+	}
+	if cm, ok := clos.(closMapProvider); ok {
+		e.closMap = cm.ClosMap
+	} else {
+		e.closMap = clos.Clos
+	}
+	return e, nil
 }
 
 // Options returns the engine's effective options (defaults applied).
@@ -211,6 +244,13 @@ func (e *Engine) buildSlots(queryNodes []graph.NodeID) ([]slot, error) {
 // (transitions) — which likewise prevents a single zero factor from
 // annihilating an otherwise good query.
 func (e *Engine) buildModel(slots []slot) *hmm.Model {
+	return e.buildModelFunc(slots, e.clos.Clos)
+}
+
+// buildModelFunc is buildModel with the closeness reader injected, so
+// the Ref baseline can force the map path while production reads the
+// packed tables.
+func (e *Engine) buildModelFunc(slots []slot, clos func(a, b graph.NodeID) float64) *hmm.Model {
 	m := len(slots)
 	lam := e.opts.SmoothingLambda
 
@@ -272,7 +312,7 @@ func (e *Engine) buildModel(slots []slot) *hmm.Model {
 				case a == voidNode || b == voidNode:
 					v = e.opts.VoidPenalty
 				default:
-					v = e.clos.Clos(a, b)
+					v = clos(a, b)
 				}
 				raw[i][j] = v
 				bg += v
@@ -353,26 +393,144 @@ func (e *Engine) Reformulate(query []string, k int) ([]Reformulation, error) {
 }
 
 // reformulateNodes is the node-level entry point shared with the
-// benchmark harness.
+// benchmark harness. It runs the whole decode on pooled scratch: only
+// the returned Reformulations allocate.
 func (e *Engine) reformulateNodes(nodes []graph.NodeID, k int) ([]Reformulation, error) {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	if err := e.buildSlotsInto(s, nodes); err != nil {
+		return nil, err
+	}
+	e.buildModelInto(s, len(nodes))
+	// Ask for extra paths so identity/duplicate filtering still leaves k.
+	fetch := k + len(nodes) + 2
+	var paths []hmm.Path
+	var err error
+	switch e.opts.Algorithm {
+	case AlgTopKViterbi:
+		paths, err = s.dec.TopKViterbi(&s.model, fetch)
+	default:
+		paths, _, err = s.dec.TopKAStar(&s.model, fetch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e.pathsToReformulations(s.slots[:len(nodes)], paths, k), nil
+}
+
+// ReformulateRef is Reformulate on the retained pointer path: map-read
+// candidate lists and closeness, per-query model allocation, and the
+// Ref decoders. It exists as the baseline of `kqr-bench -exp hotpath`
+// and the oracle for packed-vs-pointer equivalence tests; results are
+// bit-identical to Reformulate.
+func (e *Engine) ReformulateRef(query []string, k int) ([]Reformulation, error) {
+	if len(query) == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	if k < 1 {
+		k = 1
+	}
+	nodes := make([]graph.NodeID, len(query))
+	for i, q := range query {
+		v, err := e.ResolveTerm(q)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = v
+	}
+	return e.reformulateNodesRef(nodes, k)
+}
+
+// reformulateNodesRef is reformulateNodes over the pointer path.
+func (e *Engine) reformulateNodesRef(nodes []graph.NodeID, k int) ([]Reformulation, error) {
 	slots, err := e.buildSlots(nodes)
 	if err != nil {
 		return nil, err
 	}
-	model := e.buildModel(slots)
-	// Ask for extra paths so identity/duplicate filtering still leaves k.
+	model := e.buildModelFunc(slots, e.closMap)
 	fetch := k + len(nodes) + 2
 	var paths []hmm.Path
 	switch e.opts.Algorithm {
 	case AlgTopKViterbi:
-		paths, err = model.TopKViterbi(fetch)
+		paths, err = model.TopKViterbiRef(fetch)
 	default:
-		paths, _, err = model.TopKAStar(fetch)
+		paths, _, err = model.TopKAStarRef(fetch)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return e.pathsToReformulations(slots, paths, k), nil
+}
+
+// DecodePaths runs the decode hot path for a resolved query — packed
+// candidate fetch, pooled model build, flat top-k decode — and streams
+// the decoded paths to visit (stop early by returning false). The
+// visited Paths alias pooled scratch and are valid only inside the
+// callback. On a warmed engine a DecodePaths call performs zero heap
+// allocations; it is the operation the hotpath benchmark measures.
+func (e *Engine) DecodePaths(nodes []graph.NodeID, k int, visit func(hmm.Path) bool) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("core: empty query")
+	}
+	if k < 1 {
+		k = 1
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	if err := e.buildSlotsInto(s, nodes); err != nil {
+		return err
+	}
+	e.buildModelInto(s, len(nodes))
+	var paths []hmm.Path
+	var err error
+	switch e.opts.Algorithm {
+	case AlgTopKViterbi:
+		paths, err = s.dec.TopKViterbi(&s.model, k)
+	default:
+		paths, _, err = s.dec.TopKAStar(&s.model, k)
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if visit != nil && !visit(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// DecodePathsRef is DecodePaths over the pointer path (map reads,
+// per-query allocation, Ref decoders) — the hotpath benchmark's
+// baseline. The visited Paths are caller-safe copies by construction.
+func (e *Engine) DecodePathsRef(nodes []graph.NodeID, k int, visit func(hmm.Path) bool) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("core: empty query")
+	}
+	if k < 1 {
+		k = 1
+	}
+	slots, err := e.buildSlots(nodes)
+	if err != nil {
+		return err
+	}
+	model := e.buildModelFunc(slots, e.closMap)
+	var paths []hmm.Path
+	switch e.opts.Algorithm {
+	case AlgTopKViterbi:
+		paths, err = model.TopKViterbiRef(k)
+	default:
+		paths, _, err = model.TopKAStarRef(k)
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if visit != nil && !visit(p) {
+			break
+		}
+	}
+	return nil
 }
 
 // pathsToReformulations maps decoded state sequences back to term texts,

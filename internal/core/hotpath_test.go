@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"kqr/internal/closeness"
+	"kqr/internal/graph"
+	"kqr/internal/hmm"
+	"kqr/internal/randomwalk"
+	"kqr/internal/tatgraph"
+	"kqr/internal/testcorpus"
+)
+
+// newWarmFixtureEngine builds the full pipeline, precomputes every term
+// and packs the stores, so the engine serves from the flat path.
+func newWarmFixtureEngine(t *testing.T, opts Options) (*tatgraph.Graph, *Engine) {
+	t.Helper()
+	db, err := testcorpus.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := tatgraph.Build(db, tatgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := randomwalk.NewExtractor(tg, randomwalk.Contextual, randomwalk.Options{})
+	clos, err := closeness.New(tg, closeness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := tg.TermNodeIDs()
+	if err := sim.Precompute(context.Background(), terms); err != nil {
+		t.Fatal(err)
+	}
+	if err := clos.Precompute(context.Background(), terms); err != nil {
+		t.Fatal(err)
+	}
+	sim.Pack()
+	clos.Pack()
+	eng, err := New(tg, sim, clos, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, eng
+}
+
+var hotpathQueries = [][]string{
+	{"uncertain"},
+	{"uncertain", "data"},
+	{"probabilistic", "query"},
+	{"xml", "indexing"},
+	{"uncertain", "data", "management"},
+}
+
+func sameReformulations(a, b []Reformulation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || len(a[i].Terms) != len(b[i].Terms) {
+			return false
+		}
+		for j := range a[i].Terms {
+			if a[i].Terms[j] != b[i].Terms[j] || a[i].Nodes[j] != b[i].Nodes[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Tentpole invariant: the packed/pooled path and the pointer path must
+// produce bit-identical reformulations (same terms, nodes, and exact
+// scores) for both decoding algorithms, with and without void states.
+func TestReformulateMatchesRefBitIdentical(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{Algorithm: AlgTopKViterbi},
+		{AllowDeletion: true},
+		{DropOriginal: true},
+		{Algorithm: AlgTopKViterbi, AllowDeletion: true, CandidatesPerTerm: 25},
+	} {
+		_, eng := newWarmFixtureEngine(t, opts)
+		for _, q := range hotpathQueries {
+			fast, err := eng.Reformulate(q, 8)
+			if err != nil {
+				t.Fatalf("opts %+v query %v: %v", opts, q, err)
+			}
+			ref, err := eng.ReformulateRef(q, 8)
+			if err != nil {
+				t.Fatalf("opts %+v query %v (ref): %v", opts, q, err)
+			}
+			if !sameReformulations(fast, ref) {
+				t.Fatalf("opts %+v query %v: packed path diverges from pointer path\nfast: %+v\nref:  %+v",
+					opts, q, fast, ref)
+			}
+		}
+	}
+}
+
+// The cold engine (no Pack called) must fall back to the map path and
+// still match the ref output.
+func TestReformulateMatchesRefCold(t *testing.T) {
+	_, eng := newFixtureEngine(t, Options{})
+	for _, q := range hotpathQueries {
+		fast, err := eng.Reformulate(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := eng.ReformulateRef(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameReformulations(fast, ref) {
+			t.Fatalf("query %v: cold fast path diverges from ref", q)
+		}
+	}
+}
+
+// DecodePaths must visit exactly the paths DecodePathsRef visits.
+func TestDecodePathsMatchesRef(t *testing.T) {
+	_, eng := newWarmFixtureEngine(t, Options{})
+	for _, q := range hotpathQueries {
+		nodes := make([]graph.NodeID, len(q))
+		for i, w := range q {
+			v, err := eng.ResolveTerm(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = v
+		}
+		collect := func(decode func([]graph.NodeID, int, func(hmm.Path) bool) error) []hmm.Path {
+			var out []hmm.Path
+			if err := decode(nodes, 10, func(p hmm.Path) bool {
+				cp := make([]int, len(p.States))
+				copy(cp, p.States)
+				out = append(out, hmm.Path{States: cp, Score: p.Score})
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		fast := collect(eng.DecodePaths)
+		ref := collect(eng.DecodePathsRef)
+		if len(fast) != len(ref) {
+			t.Fatalf("query %v: %d fast paths, %d ref paths", q, len(fast), len(ref))
+		}
+		for i := range fast {
+			if fast[i].Score != ref[i].Score {
+				t.Fatalf("query %v path %d: score %v != %v", q, i, fast[i].Score, ref[i].Score)
+			}
+			for c := range fast[i].States {
+				if fast[i].States[c] != ref[i].States[c] {
+					t.Fatalf("query %v path %d: states diverge", q, i)
+				}
+			}
+		}
+	}
+}
+
+// Satellite: a warmed engine decodes with zero heap allocations.
+// AllocsPerRun runs twice, keeping the minimum, so a GC emptying the
+// scratch pool mid-measurement cannot flake the assertion.
+func TestDecodePathsZeroAllocsWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Put items under the race detector by design; internal/hmm asserts the pool-free zero-alloc invariant under race")
+	}
+	_, eng := newWarmFixtureEngine(t, Options{})
+	queries := make([][]graph.NodeID, 0, len(hotpathQueries))
+	for _, q := range hotpathQueries {
+		nodes := make([]graph.NodeID, len(q))
+		for i, w := range q {
+			v, err := eng.ResolveTerm(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = v
+		}
+		queries = append(queries, nodes)
+	}
+	sink := 0
+	decodeAll := func() {
+		for _, nodes := range queries {
+			if err := eng.DecodePaths(nodes, 10, func(p hmm.Path) bool {
+				sink += len(p.States)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decodeAll()
+	decodeAll()
+
+	run := func() float64 { return testing.AllocsPerRun(100, decodeAll) }
+	allocs := run()
+	if a := run(); a < allocs {
+		allocs = a
+	}
+	if allocs != 0 {
+		t.Fatalf("warmed DecodePaths allocates %.1f times per sweep, want 0 (sink=%d)", allocs, sink)
+	}
+}

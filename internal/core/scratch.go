@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"kqr/internal/graph"
+	"kqr/internal/hmm"
+)
+
+// queryScratch owns every buffer the per-query hot path writes: slot
+// candidate lists, the HMM's emission/initial/transition storage (flat,
+// with the transition tables flattened per step behind a closure built
+// once), and the flat hmm.Decoder. Engines recycle scratches through a
+// sync.Pool, so after a few warm-up queries the whole decode path —
+// candidate fetch through top-k paths — runs without touching the heap.
+//
+// The embedded model's Trans closure reads the scratch's own transBuf/
+// transOff/transStride fields, so it is created once per scratch rather
+// than once per query.
+type queryScratch struct {
+	slots []slot
+
+	emit    [][]float64
+	emitBuf []float64
+	pi      []float64
+
+	// Flattened per-step transition tables: step c's table occupies
+	// transBuf[transOff[c] : transOff[c]+prevN*transStride[c]], row-major
+	// with stride transStride[c] (= the state count of step c).
+	transBuf    []float64
+	transOff    []int32
+	transStride []int32
+
+	model hmm.Model
+	dec   hmm.Decoder
+}
+
+// newQueryScratch builds a scratch with its model's transition closure
+// bound to the scratch's flat tables.
+func newQueryScratch() *queryScratch {
+	s := &queryScratch{}
+	s.model.Trans = func(step, from, to int) float64 {
+		return s.transBuf[int(s.transOff[step])+from*int(s.transStride[step])+to]
+	}
+	return s
+}
+
+// getScratch takes a warmed scratch from the engine's pool (or builds
+// the first one).
+func (e *Engine) getScratch() *queryScratch {
+	if s, ok := e.pool.Get().(*queryScratch); ok {
+		return s
+	}
+	return newQueryScratch()
+}
+
+// putScratch returns a scratch to the pool; the caller must have
+// finished with every path and slot view derived from it.
+func (e *Engine) putScratch(s *queryScratch) { e.pool.Put(s) }
+
+// buildSlotsInto is buildSlots writing into pooled storage. Candidate
+// rows come from the similarity provider's packed table when it
+// publishes one (SimRow), falling back to SimilarNodes; publish-time
+// quantization makes the two sources bit-identical.
+func (e *Engine) buildSlotsInto(s *queryScratch, queryNodes []graph.NodeID) error {
+	for len(s.slots) < len(queryNodes) {
+		s.slots = append(s.slots, slot{})
+	}
+	for i, q := range queryNodes {
+		sl := &s.slots[i]
+		sl.query = q
+		sl.cands = sl.cands[:0]
+		sl.sims = sl.sims[:0]
+		if !e.opts.DropOriginal {
+			sl.cands = append(sl.cands, q)
+			sl.sims = append(sl.sims, 1)
+		}
+		served := false
+		if e.simRow != nil {
+			if nodes, scores, ok := e.simRow(q); ok {
+				n := e.opts.CandidatesPerTerm
+				if n > len(nodes) {
+					n = len(nodes)
+				}
+				for idx := 0; idx < n; idx++ {
+					if nodes[idx] == q {
+						continue
+					}
+					sl.cands = append(sl.cands, nodes[idx])
+					sl.sims = append(sl.sims, float64(scores[idx]))
+				}
+				served = true
+			}
+		}
+		if !served {
+			list, err := e.sim.SimilarNodes(q, e.opts.CandidatesPerTerm)
+			if err != nil {
+				return fmt.Errorf("core: similar terms of slot %d: %w", i, err)
+			}
+			for _, sn := range list {
+				if sn.Node == q {
+					continue
+				}
+				sl.cands = append(sl.cands, sn.Node)
+				sl.sims = append(sl.sims, sn.Score)
+			}
+		}
+		if e.opts.AllowDeletion {
+			sl.cands = append(sl.cands, voidNode)
+			sl.sims = append(sl.sims, e.opts.VoidPenalty)
+		}
+		if len(sl.cands) == 0 {
+			// Same fallback as buildSlots: a slot with no substitutes
+			// keeps its original term.
+			sl.cands = append(sl.cands, q)
+			sl.sims = append(sl.sims, 1)
+		}
+	}
+	return nil
+}
+
+// buildModelInto is buildModel writing into pooled storage: the same
+// arithmetic in the same order (so scores stay bit-identical), with the
+// emission columns packed into one flat buffer and the per-step
+// transition matrices flattened behind the scratch's reusable closure.
+func (e *Engine) buildModelInto(s *queryScratch, m int) {
+	lam := e.opts.SmoothingLambda
+	slots := s.slots[:m]
+
+	total := 0
+	for c := range slots {
+		total += len(slots[c].cands)
+	}
+	s.emitBuf = growF64(s.emitBuf, total)
+	s.emit = growCols(s.emit, m)
+	at := 0
+	for c := range slots {
+		sl := &slots[c]
+		col := s.emitBuf[at : at+len(sl.cands)]
+		at += len(sl.cands)
+		bg, cnt := 0.0, 0
+		for _, sim := range sl.sims {
+			bg += sim
+			cnt++
+		}
+		if cnt > 0 {
+			bg /= float64(cnt)
+		}
+		colSum := 0.0
+		for i, sim := range sl.sims {
+			col[i] = lam*sim + (1-lam)*bg
+			colSum += col[i]
+		}
+		if colSum > 0 { // normalization Z_B of Eq. 9
+			for i := range col {
+				col[i] /= colSum
+			}
+		}
+		s.emit[c] = col
+	}
+
+	n0 := len(slots[0].cands)
+	s.pi = growF64(s.pi, n0)
+	zPi := 0.0
+	for i, v := range slots[0].cands {
+		f := 1.0
+		if v == voidNode {
+			f = e.opts.VoidPenalty
+		} else {
+			f = float64(e.tg.Freq(v))
+		}
+		s.pi[i] = f
+		zPi += f
+	}
+	if zPi > 0 { // normalization Z_t of Eq. 7
+		for i := range s.pi {
+			s.pi[i] /= zPi
+		}
+	}
+
+	s.transOff = growI32(s.transOff, m)
+	s.transStride = growI32(s.transStride, m)
+	tTotal := 0
+	for c := 1; c < m; c++ {
+		tTotal += len(slots[c-1].cands) * len(slots[c].cands)
+	}
+	s.transBuf = growF64(s.transBuf, tTotal)
+	at = 0
+	for c := 1; c < m; c++ {
+		prev, cur := &slots[c-1], &slots[c]
+		np, nc := len(prev.cands), len(cur.cands)
+		blk := s.transBuf[at : at+np*nc]
+		s.transOff[c] = int32(at)
+		s.transStride[c] = int32(nc)
+		at += np * nc
+		bg, cnt, maxV := 0.0, 0, 0.0
+		for i, a := range prev.cands {
+			row := blk[i*nc : (i+1)*nc]
+			for j, b := range cur.cands {
+				v := 0.0
+				switch {
+				case a == voidNode || b == voidNode:
+					v = e.opts.VoidPenalty
+				default:
+					v = e.clos.Clos(a, b)
+				}
+				row[j] = v
+				bg += v
+				cnt++
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		if cnt > 0 {
+			bg /= float64(cnt)
+		}
+		scale := 1.0
+		if maxV > 0 {
+			scale = 1 / maxV
+		}
+		for i := range blk {
+			blk[i] = (lam*blk[i] + (1-lam)*bg) * scale
+		}
+	}
+
+	s.model.Pi = s.pi
+	s.model.Emit = s.emit[:m]
+}
+
+// growF64 returns s with length n, reusing capacity when possible.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growI32 returns s with length n, reusing capacity when possible.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growCols returns s with length n, reusing capacity when possible.
+func growCols(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
+}

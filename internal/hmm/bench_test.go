@@ -41,3 +41,52 @@ func BenchmarkTopKAStar(b *testing.B) {
 		}
 	}
 }
+
+// The Ref benchmarks time the retained pointer-path implementations so
+// `go test -bench -benchmem` shows the flat decoder's alloc/latency win
+// side by side.
+
+func BenchmarkTopKViterbiRef(b *testing.B) {
+	m := benchModel(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TopKViterbiRef(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKAStarRef(b *testing.B) {
+	m := benchModel(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.TopKAStarRef(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecoderTopKAStar times the raw arena decoder without the
+// caller-owned copy the Model method performs — the true hot-path cost.
+func BenchmarkDecoderTopKAStar(b *testing.B) {
+	m := benchModel(20)
+	d := new(Decoder)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.TopKAStar(m, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecoderTopKViterbi is the raw arena Algorithm 2 analogue.
+func BenchmarkDecoderTopKViterbi(b *testing.B) {
+	m := benchModel(20)
+	d := new(Decoder)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.TopKViterbi(m, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -91,6 +91,11 @@ func (m *Model) Score(states []int) (float64, error) {
 			return 0, fmt.Errorf("hmm: state %d out of range at step %d", s, c)
 		}
 	}
+	if len(states) > 1 && m.Trans == nil {
+		// Same structural error Validate reports; without this guard a
+		// multi-step path on a transition-less model would panic below.
+		return 0, fmt.Errorf("hmm: multi-step model needs a transition function")
+	}
 	score := m.Pi[states[0]] * m.Emit[0][states[0]]
 	for c := 1; c < len(states); c++ {
 		score *= m.Trans(c, states[c-1], states[c]) * m.Emit[c][states[c]]

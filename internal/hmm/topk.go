@@ -6,6 +6,14 @@ import (
 	"sort"
 )
 
+// This file holds the reference implementations of Algorithms 2 and 3:
+// the original map/pointer-heavy decoders, kept verbatim (modulo shared
+// bugfixes) as the oracle for the flat Decoder's equivalence property
+// tests and as the pointer-path baseline of `kqr-bench -exp hotpath`.
+// The production entry points (Model.TopKViterbi, Model.TopKAStar) live
+// in decode.go and run on pooled flat scratch; results are bit-identical
+// to these by construction and by test.
+
 // --- Algorithm 2: extended top-k Viterbi ---
 
 // pathEntry is one of the k best partial paths ending at a given state,
@@ -17,13 +25,16 @@ type pathEntry struct {
 	prev     int // previous state; -1 at step 0
 }
 
-// TopKViterbi implements the paper's Algorithm 2: the Viterbi recurrence
-// generalized so every (step, state) cell keeps its k best incoming
-// partial paths. Zero-probability paths are pruned — "states with zero
-// or low closeness with the previous state could be discarded" (§V-C).
-// It may return fewer than k paths when fewer positive-probability
-// complete paths exist.
-func (m *Model) TopKViterbi(k int) ([]Path, error) {
+// TopKViterbiRef is the reference implementation of the paper's
+// Algorithm 2: the Viterbi recurrence generalized so every (step, state)
+// cell keeps its k best incoming partial paths. Zero-probability paths
+// are pruned — "states with zero or low closeness with the previous
+// state could be discarded" (§V-C) — including candidates whose score
+// product underflows to exactly zero. It may return fewer than k paths
+// when fewer positive-probability complete paths exist. Production
+// callers should use TopKViterbi, which runs the same recurrence on
+// pooled flat scratch.
+func (m *Model) TopKViterbiRef(k int) ([]Path, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,11 +69,14 @@ func (m *Model) TopKViterbi(k int) ([]Path, error) {
 					continue
 				}
 				for rank, pe := range lists[c-1][i] {
-					cands = append(cands, pathEntry{
-						score:    pe.score * tr * m.Emit[c][j],
-						prevRank: rank,
-						prev:     i,
-					})
+					s := pe.score * tr * m.Emit[c][j]
+					if s == 0 {
+						// The factors are positive but the product
+						// underflowed; keeping it would surface a
+						// zero-score path BruteForce filters out.
+						continue
+					}
+					cands = append(cands, pathEntry{score: s, prevRank: rank, prev: i})
 				}
 			}
 			sortEntries(cands)
@@ -150,8 +164,8 @@ func (h nodeHeap) Less(i, j int) bool {
 	}
 	return h[i].front < h[j].front
 }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*astarNode)) }
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*astarNode)) }
 func (h *nodeHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -171,15 +185,17 @@ type AStarStats struct {
 	Pushed int
 }
 
-// TopKAStar implements the paper's Algorithm 3: a Viterbi forward pass
-// records h[c][i], the best prefix score ending at state i of step c;
-// then a best-first backward search grows suffixes from the last step,
-// scoring each partial path by the exact bound f = h·g. Because f is
-// exact for complete paths and an upper bound for partial ones, paths
-// pop off the frontier in global score order and the first k complete
-// pops are the top k. Fewer than k paths come back when fewer
-// positive-probability paths exist.
-func (m *Model) TopKAStar(k int) ([]Path, *AStarStats, error) {
+// TopKAStarRef is the reference implementation of the paper's
+// Algorithm 3: a Viterbi forward pass records h[c][i], the best prefix
+// score ending at state i of step c; then a best-first backward search
+// grows suffixes from the last step, scoring each partial path by the
+// exact bound f = h·g. Because f is exact for complete paths and an
+// upper bound for partial ones, paths pop off the frontier in global
+// score order and the first k complete pops are the top k. Fewer than k
+// paths come back when fewer positive-probability paths exist.
+// Production callers should use TopKAStar, which runs the same search
+// on pooled flat scratch.
+func (m *Model) TopKAStarRef(k int) ([]Path, *AStarStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}

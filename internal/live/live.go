@@ -107,13 +107,16 @@ type Config struct {
 
 // SimTables is the similarity-provider surface a generation needs
 // beyond answering queries: persistence of the per-term cache (for
-// carry-over between generations and snapshots) and the parallel
-// offline precompute. Both in-tree extractors satisfy it.
+// carry-over between generations and snapshots), the parallel offline
+// precompute, and Pack, which republishes the cache as an immutable
+// CSR table (internal/packed) serving the engine's zero-alloc decode
+// path. Both in-tree extractors satisfy it.
 type SimTables interface {
 	core.SimilarityProvider
 	Snapshot() map[graph.NodeID][]graph.Scored
 	Restore(map[graph.NodeID][]graph.Scored)
 	Precompute(ctx context.Context, nodes []graph.NodeID) error
+	Pack()
 }
 
 // Provenance records how a generation came to be — the admin API's
@@ -141,11 +144,13 @@ type Provenance struct {
 	// the previous generation in a targeted rebuild.
 	CarriedSim  int `json:"carried_sim"`
 	CarriedClos int `json:"carried_clos"`
-	// Timings of the promotion phases.
+	// Timings of the promotion phases. Pack measures repacking the
+	// warmed caches into the CSR tables the hot decode path reads.
 	ApplyDeltas time.Duration `json:"apply_deltas_ns"`
 	BuildGraph  time.Duration `json:"build_graph_ns"`
 	CarryOver   time.Duration `json:"carry_over_ns"`
 	Precompute  time.Duration `json:"precompute_ns"`
+	Pack        time.Duration `json:"pack_ns"`
 	Total       time.Duration `json:"total_ns"`
 	// PromotedAt is when the generation became current.
 	PromotedAt time.Time `json:"promoted_at"`

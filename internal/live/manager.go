@@ -268,6 +268,15 @@ func (m *Manager) build(ctx context.Context, old *Generation, deltas []Delta) (*
 		prov.Precompute = time.Since(t0)
 	}
 
+	// Repack the carried/recomputed caches into the immutable CSR
+	// tables the zero-alloc decode path reads, before the generation
+	// becomes visible — readers never observe a warmed-but-unpacked
+	// generation.
+	t0 = time.Now()
+	next.Sim.Pack()
+	next.Clos.Pack()
+	prov.Pack = time.Since(t0)
+
 	prov.Total = time.Since(start)
 	prov.PromotedAt = time.Now()
 	next.Epoch = prov.Epoch

@@ -1,0 +1,182 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"kqr/internal/graph"
+	"kqr/internal/testcorpus"
+)
+
+// simRows is the packed-row surface both extractors expose beyond the
+// SimTables interface.
+type simRows interface {
+	SimRow(graph.NodeID) ([]graph.NodeID, []float32, bool)
+}
+
+// warmAndPack fills a generation's offline caches for the whole
+// vocabulary and republishes them as packed tables, the way the root
+// package's Warm does.
+func warmAndPack(t *testing.T, g *Generation) {
+	t.Helper()
+	terms := g.TG.TermNodeIDs()
+	if err := g.Sim.Precompute(context.Background(), terms); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Clos.Precompute(context.Background(), terms); err != nil {
+		t.Fatal(err)
+	}
+	g.Sim.Pack()
+	g.Clos.Pack()
+}
+
+// assertPackedMatches checks that every vocabulary term's packed row is
+// present and bit-identical to the map-cache answer.
+func assertPackedMatches(t *testing.T, g *Generation) {
+	t.Helper()
+	rows, ok := g.Sim.(simRows)
+	if !ok {
+		t.Fatalf("similarity provider %T does not expose SimRow", g.Sim)
+	}
+	for _, v := range g.TG.TermNodeIDs() {
+		nodes, scores, ok := rows.SimRow(v)
+		if !ok {
+			t.Fatalf("epoch %d: term %d has no packed row after promotion", g.Epoch, v)
+		}
+		want, err := g.Sim.SimilarNodes(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != len(want) {
+			t.Fatalf("epoch %d term %d: packed row has %d entries, cache %d", g.Epoch, v, len(nodes), len(want))
+		}
+		for i := range nodes {
+			if nodes[i] != want[i].Node || float64(scores[i]) != want[i].Score {
+				t.Fatalf("epoch %d term %d rank %d: packed (%d,%v) != cache (%d,%v)",
+					g.Epoch, v, i, nodes[i], float64(scores[i]), want[i].Node, want[i].Score)
+			}
+		}
+	}
+}
+
+// TestPromotePacksNextGeneration: a promotion over a warmed generation
+// must hand readers a generation whose packed tables are already
+// rebuilt for the new node numbering (both the targeted carry-over and
+// the full-rebuild strategies), recording the repack phase in the
+// provenance.
+func TestPromotePacksNextGeneration(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		churn float64
+		mode  string
+	}{
+		{"targeted", 0.95, "targeted"},
+		{"full", 0.0000001, "full"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mustManager(t, Options{ChurnThreshold: tc.churn})
+			warmAndPack(t, m.Current())
+			if err := m.Ingest([]Delta{insertPaper(900, "packed tables survive promotion", 1)}); err != nil {
+				t.Fatal(err)
+			}
+			g, err := m.Promote(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Provenance.Mode != tc.mode {
+				t.Fatalf("promotion mode = %q, want %q", g.Provenance.Mode, tc.mode)
+			}
+			assertPackedMatches(t, g)
+		})
+	}
+}
+
+// TestPackedTablesAcrossPromoteSwapRace hammers the query path from
+// reader goroutines while promotions and reloads swap generations
+// underneath them. Readers pin one generation per iteration, so every
+// decode must be served consistently from that generation's packed (or,
+// right after a cold swap, map) tables; run under -race this is the
+// publication-safety test for the packed state.
+func TestPackedTablesAcrossPromoteSwapRace(t *testing.T) {
+	m := mustManager(t, Options{})
+	warmAndPack(t, m.Current())
+
+	const readers, swaps, promotions = 4, 3, 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := m.Current()
+				// "uncertain" and "data" exist in every generation this
+				// test produces (inserts only, plus fresh-corpus swaps).
+				refs, err := g.Core.Reformulate([]string{"uncertain", "data"}, 4)
+				if err != nil {
+					t.Errorf("epoch %d: %v", g.Epoch, err)
+					return
+				}
+				if len(refs) == 0 {
+					t.Errorf("epoch %d: no reformulations", g.Epoch)
+					return
+				}
+			}
+		}()
+	}
+
+	var race sync.WaitGroup
+	race.Add(2)
+	errc := make(chan error, swaps+promotions)
+	go func() {
+		defer race.Done()
+		for i := 0; i < swaps; i++ {
+			db, err := testcorpus.New()
+			if err != nil {
+				errc <- err
+				return
+			}
+			g, err := Build(db, Config{})
+			if err != nil {
+				errc <- err
+				return
+			}
+			// Alternate warmed and cold reloads so readers cross both
+			// the packed and the fallback map paths mid-race.
+			if i%2 == 0 {
+				warmAndPack(t, g)
+			}
+			if _, err := m.Swap(g); err != nil {
+				errc <- fmt.Errorf("swap %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer race.Done()
+		for i := 0; i < promotions; i++ {
+			if err := m.Ingest([]Delta{insertPaper(int64(950+i), fmt.Sprintf("packed race %d", i), 2)}); err != nil {
+				errc <- fmt.Errorf("ingest %d: %w", i, err)
+				return
+			}
+			if _, err := m.Promote(context.Background()); err != nil {
+				errc <- fmt.Errorf("promote %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	race.Wait()
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+package packed
+
+import (
+	"math/rand"
+	"testing"
+
+	"kqr/internal/graph"
+)
+
+func TestSimTableRoundTrip(t *testing.T) {
+	snap := map[graph.NodeID][]graph.Scored{
+		0: {{Node: 3, Score: 0.75}, {Node: 1, Score: 0.5}, {Node: 2, Score: 0.25}},
+		2: {}, // cached empty row must stay distinguishable from "missing"
+		5: {{Node: 0, Score: 1}},
+	}
+	tab := BuildSim(6, snap)
+
+	if got := tab.Rows(); got != 3 {
+		t.Fatalf("Rows() = %d, want 3", got)
+	}
+	if got := tab.Entries(); got != 4 {
+		t.Fatalf("Entries() = %d, want 4", got)
+	}
+	if tab.Bytes() <= 0 {
+		t.Fatalf("Bytes() = %d, want > 0", tab.Bytes())
+	}
+
+	nodes, scores, ok := tab.Row(0)
+	if !ok {
+		t.Fatal("Row(0) missing")
+	}
+	wantNodes := []graph.NodeID{3, 1, 2}
+	wantScores := []float32{0.75, 0.5, 0.25}
+	for i := range wantNodes {
+		if nodes[i] != wantNodes[i] || scores[i] != wantScores[i] {
+			t.Fatalf("Row(0)[%d] = (%d, %v), want (%d, %v)",
+				i, nodes[i], scores[i], wantNodes[i], wantScores[i])
+		}
+	}
+
+	if nodes, _, ok := tab.Row(2); !ok || len(nodes) != 0 {
+		t.Fatalf("Row(2) = (%v, ok=%v), want present empty row", nodes, ok)
+	}
+	if _, _, ok := tab.Row(1); ok {
+		t.Fatal("Row(1) present, want missing")
+	}
+	if _, _, ok := tab.Row(-1); ok {
+		t.Fatal("Row(-1) present, want missing")
+	}
+	if _, _, ok := tab.Row(99); ok {
+		t.Fatal("Row(99) present, want missing")
+	}
+}
+
+func TestSimTableSkipsOutOfRangeSources(t *testing.T) {
+	snap := map[graph.NodeID][]graph.Scored{
+		1:  {{Node: 0, Score: 0.5}},
+		-1: {{Node: 0, Score: 0.5}},
+		7:  {{Node: 0, Score: 0.5}},
+	}
+	tab := BuildSim(4, snap)
+	if got := tab.Rows(); got != 1 {
+		t.Fatalf("Rows() = %d, want 1 (out-of-range sources skipped)", got)
+	}
+	if _, _, ok := tab.Row(1); !ok {
+		t.Fatal("Row(1) missing")
+	}
+}
+
+func TestClosTableLookup(t *testing.T) {
+	snap := map[graph.NodeID]map[graph.NodeID]float64{
+		0: {4: 0.125, 1: 0.5, 9: 0.0625},
+		3: {},
+	}
+	tab := BuildClos(10, snap)
+
+	// Present row: hits return the value, misses are true zeros.
+	for _, tc := range []struct {
+		b    graph.NodeID
+		want float64
+	}{{1, 0.5}, {4, 0.125}, {9, 0.0625}, {2, 0}, {0, 0}} {
+		got, ok := tab.Lookup(0, tc.b)
+		if !ok || got != tc.want {
+			t.Fatalf("Lookup(0, %d) = (%v, %v), want (%v, true)", tc.b, got, ok, tc.want)
+		}
+	}
+	// Cached-empty row: present with all-zero values.
+	if got, ok := tab.Lookup(3, 1); !ok || got != 0 {
+		t.Fatalf("Lookup(3, 1) = (%v, %v), want (0, true)", got, ok)
+	}
+	// Absent row: signals fallback.
+	if _, ok := tab.Lookup(5, 1); ok {
+		t.Fatal("Lookup(5, 1) ok, want fallback signal")
+	}
+	if _, ok := tab.Lookup(-2, 1); ok {
+		t.Fatal("Lookup(-2, 1) ok, want fallback signal")
+	}
+
+	nodes, _, ok := tab.Row(0)
+	if !ok || len(nodes) != 3 {
+		t.Fatalf("Row(0) = (%v, %v), want 3 sorted neighbors", nodes, ok)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("Row(0) not sorted: %v", nodes)
+		}
+	}
+}
+
+func TestClosTableLookupRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 128
+	snap := make(map[graph.NodeID]map[graph.NodeID]float64)
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		row := make(map[graph.NodeID]float64)
+		for i := 0; i < rng.Intn(40); i++ {
+			row[graph.NodeID(rng.Intn(n))] = Quantize(rng.Float64())
+		}
+		snap[graph.NodeID(v)] = row
+	}
+	tab := BuildClos(n, snap)
+	for v := 0; v < n; v++ {
+		row, cached := snap[graph.NodeID(v)]
+		for b := 0; b < n; b++ {
+			got, ok := tab.Lookup(graph.NodeID(v), graph.NodeID(b))
+			if ok != cached {
+				t.Fatalf("Lookup(%d, %d) ok = %v, want %v", v, b, ok, cached)
+			}
+			if cached && got != row[graph.NodeID(b)] {
+				t.Fatalf("Lookup(%d, %d) = %v, want %v", v, b, got, row[graph.NodeID(b)])
+			}
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		q := Quantize(rng.Float64())
+		if float64(float32(q)) != q {
+			t.Fatalf("Quantize not idempotent for %v", q)
+		}
+	}
+	if Quantize(0) != 0 || Quantize(1) != 1 {
+		t.Fatal("Quantize must fix 0 and 1")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"kqr/internal/flight"
 	"kqr/internal/graph"
+	"kqr/internal/packed"
 	"kqr/internal/tatgraph"
 )
 
@@ -43,6 +44,11 @@ type Extractor struct {
 
 	mu    sync.Mutex
 	cache map[graph.NodeID][]graph.Scored
+
+	// pk is the CSR-packed, read-only image of cache published by Pack;
+	// the query hot path reads it via SimRow without locks or map
+	// lookups, falling back to the map cache when a row is absent.
+	pk atomic.Pointer[packed.SimTable]
 
 	flight flight.Group[graph.NodeID, []graph.Scored]
 	walks  atomic.Int64 // walks actually executed (cold misses)
@@ -144,6 +150,11 @@ func (e *Extractor) extract(t0 graph.NodeID) ([]graph.Scored, error) {
 			top[i].Score /= norm
 		}
 	}
+	// Publish boundary: quantize so the float32 packed rows reproduce
+	// the cached values bit for bit (see packed.Quantize).
+	for i := range top {
+		top[i].Score = packed.Quantize(top[i].Score)
+	}
 	return top, nil
 }
 
@@ -201,15 +212,46 @@ func (e *Extractor) Snapshot() map[graph.NodeID][]graph.Scored {
 }
 
 // Restore replaces the cache with previously snapshotted lists. Entries
-// are trusted as-is; callers must ensure the snapshot was taken over an
-// identically built graph.
+// are trusted as-is (modulo float32 quantization — pre-quantization
+// artifacts restore onto the same grid new walks publish on); callers
+// must ensure the snapshot was taken over an identically built graph.
+// The packed table is rebuilt so restored state serves from the flat
+// path immediately — this covers artifact loads, follower bootstrap,
+// and generation carry-over.
 func (e *Extractor) Restore(snap map[graph.NodeID][]graph.Scored) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.cache = make(map[graph.NodeID][]graph.Scored, len(snap))
 	for v, list := range snap {
 		cp := make([]graph.Scored, len(list))
 		copy(cp, list)
+		for i := range cp {
+			cp[i].Score = packed.Quantize(cp[i].Score)
+		}
 		e.cache[v] = cp
 	}
+	e.mu.Unlock()
+	e.Pack()
+}
+
+// Pack republishes the CSR-packed image of the current cache. Call it
+// after bulk cache fills (Precompute, Restore does so itself); rows
+// cached after the last Pack are still served through the map fallback
+// until the next call.
+func (e *Extractor) Pack() {
+	e.mu.Lock()
+	t := packed.BuildSim(e.tg.CSR().NumNodes(), e.cache)
+	e.mu.Unlock()
+	e.pk.Store(t)
+}
+
+// SimRow returns t0's packed candidate row in rank order — the
+// allocation-free hot-path equivalent of SimilarNodes(t0, maxKept).
+// ok is false when t0 has no packed row yet (not warmed, or cached
+// after the last Pack); callers then fall back to SimilarNodes. The
+// returned slices are read-only views into the published table.
+func (e *Extractor) SimRow(t0 graph.NodeID) ([]graph.NodeID, []float32, bool) {
+	if t := e.pk.Load(); t != nil {
+		return t.Row(t0)
+	}
+	return nil, nil, false
 }

@@ -1,0 +1,66 @@
+package randomwalk
+
+import (
+	"context"
+	"testing"
+)
+
+// The packed fast path must serve exactly what the map path serves:
+// same candidates, same order, and scores that widen back to the same
+// float64 bits (the publish-time quantization guarantees this).
+func TestPackedSimRowMatchesSimilarNodes(t *testing.T) {
+	tg := fixtureGraph(t)
+	ex := NewExtractor(tg, Contextual, Options{})
+	terms := tg.TermNodeIDs()
+
+	if _, _, ok := ex.SimRow(terms[0]); ok {
+		t.Fatal("SimRow served a row before any Pack")
+	}
+	if err := ex.Precompute(context.Background(), terms); err != nil {
+		t.Fatal(err)
+	}
+	ex.Pack()
+
+	packedRows := 0
+	for _, v := range terms {
+		want, err := ex.SimilarNodes(v, maxKept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes, scores, ok := ex.SimRow(v)
+		if !ok {
+			t.Fatalf("term %d precomputed but not packed", v)
+		}
+		packedRows++
+		if len(nodes) != len(want) {
+			t.Fatalf("term %d: packed row has %d entries, map has %d", v, len(nodes), len(want))
+		}
+		for i := range want {
+			if nodes[i] != want[i].Node {
+				t.Fatalf("term %d rank %d: packed node %d, map node %d", v, i, nodes[i], want[i].Node)
+			}
+			if float64(scores[i]) != want[i].Score {
+				t.Fatalf("term %d rank %d: packed score %v not bit-identical to map score %v",
+					v, i, float64(scores[i]), want[i].Score)
+			}
+		}
+	}
+	if packedRows == 0 {
+		t.Fatal("no rows packed")
+	}
+}
+
+// Restore must republish the packed table on its own.
+func TestRestorePacks(t *testing.T) {
+	tg := fixtureGraph(t)
+	ex := NewExtractor(tg, Contextual, Options{})
+	terms := tg.TermNodeIDs()
+	if err := ex.Precompute(context.Background(), terms[:4]); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewExtractor(tg, Contextual, Options{})
+	fresh.Restore(ex.Snapshot())
+	if _, _, ok := fresh.SimRow(terms[0]); !ok {
+		t.Fatal("Restore did not repack the flat table")
+	}
+}

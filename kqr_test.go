@@ -1,6 +1,7 @@
 package kqr_test
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -314,6 +315,49 @@ func TestSimilarAndCloseTerms(t *testing.T) {
 	}
 	if _, err := eng.SimilarTerms("missingterm", 5); err == nil {
 		t.Fatal("unknown term accepted")
+	}
+}
+
+// The internal stores treat k <= 0 as "no limit"; the public relation
+// methods must reject it rather than silently dump the vocabulary.
+func TestSimilarAndCloseTermsRejectBadK(t *testing.T) {
+	ds := bibliographyDataset(t)
+	eng, err := kqr.Open(ds, kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		k    int
+		ok   bool
+	}{
+		{"zero", 0, false},
+		{"negative", -3, false},
+		{"one", 1, true},
+		{"large", 1 << 20, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sims, simErr := eng.SimilarTerms("uncertain", tc.k)
+			clos, closErr := eng.CloseTerms("uncertain", tc.k, "")
+			if tc.ok {
+				if simErr != nil || closErr != nil {
+					t.Fatalf("k=%d rejected: sim=%v clos=%v", tc.k, simErr, closErr)
+				}
+				if len(sims) == 0 || len(clos) == 0 {
+					t.Fatalf("k=%d returned empty relations", tc.k)
+				}
+				return
+			}
+			if !errors.Is(simErr, kqr.ErrBadK) {
+				t.Fatalf("SimilarTerms(k=%d) err = %v, want ErrBadK", tc.k, simErr)
+			}
+			if !errors.Is(closErr, kqr.ErrBadK) {
+				t.Fatalf("CloseTerms(k=%d) err = %v, want ErrBadK", tc.k, closErr)
+			}
+			if sims != nil || clos != nil {
+				t.Fatalf("k=%d returned results alongside the error", tc.k)
+			}
+		})
 	}
 }
 

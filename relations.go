@@ -41,7 +41,7 @@ func (e *Engine) fingerprint(g *live.Generation) string {
 // Warm to precompute the whole vocabulary.
 func (e *Engine) PrecomputeTerms(terms []string) error {
 	g := e.cur()
-	return flight.ForEach(context.Background(), e.opts.PrecomputeWorkers, len(terms), func(i int) error {
+	err := flight.ForEach(context.Background(), e.opts.PrecomputeWorkers, len(terms), func(i int) error {
 		term := terms[i]
 		node, err := g.Core.ResolveTerm(term)
 		if err != nil {
@@ -59,6 +59,14 @@ func (e *Engine) PrecomputeTerms(terms []string) error {
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	// Republish the warmed caches as packed CSR tables so queries over
+	// the precomputed terms take the zero-alloc decode path.
+	g.Sim.Pack()
+	g.Clos.Pack()
+	return nil
 }
 
 // Warm runs the offline stage for the entire term vocabulary: term
@@ -76,6 +84,10 @@ func (e *Engine) Warm(ctx context.Context) error {
 	if err := g.Clos.Precompute(ctx, nodes); err != nil {
 		return fmt.Errorf("kqr: warming closeness: %w", err)
 	}
+	// Pack after the full warm so every query is served from the flat
+	// CSR tables rather than the map caches.
+	g.Sim.Pack()
+	g.Clos.Pack()
 	return nil
 }
 
