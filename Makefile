@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-hotpath docs-check fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath docs-check fuzz experiments demo clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 # internal/artifact must carry a godoc comment (vet catches malformed
 # ones; the script catches missing ones).
 docs-check: vet
-	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed
+	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed internal/cdc
 
 test:
 	$(GO) test ./...
@@ -65,6 +65,14 @@ bench-live:
 bench-repl:
 	$(GO) run ./cmd/kqr-bench -exp repl -papers 1200 -json BENCH_repl.json
 
+# CDC ingestion soak: a feeder streaming mutation batches into a live
+# server over the KQRCDC protocol under concurrent query load, with a
+# mid-run feeder kill and resume, written as BENCH_cdc.json. The run
+# fails on any lost or duplicated delta (row-count and sequence
+# reconciliation), any query error, or a stale fresh-term lookup.
+bench-cdc:
+	$(GO) run ./cmd/kqr-bench -exp cdc -papers 1200 -json BENCH_cdc.json
+
 # Zero-alloc decode hot path: the packed+pooled DecodePaths vs the
 # pointer-chasing reference — allocs/op, B/op, p50/p99, plus a
 # bit-identity check over the full synthetic vocabulary, written as
@@ -81,6 +89,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzKeyInjective -fuzztime=20s ./internal/serving/
 	$(GO) test -fuzz=FuzzCacheKeyCanonical -fuzztime=20s ./server/
 	$(GO) test -fuzz=FuzzLoad -fuzztime=20s ./internal/artifact/
+	$(GO) test -fuzz=FuzzCDCFrame -fuzztime=20s ./internal/cdc/
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md data).
 experiments:

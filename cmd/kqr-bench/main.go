@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, hotpath")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -276,6 +276,25 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 			fmt.Println("wrote", jsonOut)
 		}
 	}
+	if exp == "cdc" {
+		ran = true
+		row, err := experiments.CDCSoak(cfg, experiments.CDCConfig{Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("cdc: %w", err)
+		}
+		fmt.Println(experiments.RenderCDC(row))
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteCDCJSON(f, cfg, row); err != nil {
+				return err
+			}
+			fmt.Println("wrote", jsonOut)
+		}
+	}
 	if exp == "hotpath" {
 		ran = true
 		row, err := s.Hotpath(experiments.HotpathConfig{
@@ -306,7 +325,7 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl or hotpath)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc or hotpath)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

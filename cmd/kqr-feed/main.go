@@ -1,0 +1,148 @@
+// Command kqr-feed replays a deterministic change stream against a live
+// kqr-server, exercising the CDC ingestion path end to end. It generates
+// the same synthetic corpus family the server uses, derives a sequenced
+// stream of paper inserts and deletes from it (kqr/internal/dblpgen's
+// Mutator), and ships the batches over the KQRCDC binary protocol with a
+// bounded in-flight window, receiver backpressure, and resume:
+//
+//	kqr-server -addr :8080 -live -staleness-max-deltas 200   # terminal 1
+//	kqr-feed -server http://localhost:8080 -batches 200      # terminal 2
+//
+// Kill the feeder mid-run and start it again with the same -source and
+// -seed: the receiver reports its per-source ack high-water mark in the
+// welcome frame and the feeder resumes from there, so no batch is lost
+// or applied twice. The mutation stream is a pure function of its flags
+// — the generator IS the replay buffer; there is no spool file.
+//
+// The corpus flags must describe a corpus schema-compatible with the
+// server's: same table layout (always true for bibliographic corpora)
+// and a -confs value no larger than the server's conference count, since
+// inserted papers reference conference ids 1..confs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kqr/internal/cdc"
+	"kqr/internal/dblpgen"
+	"kqr/internal/live"
+	"kqr/internal/relstore"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "http://localhost:8080", "base URL of the kqr-server to feed")
+		source     = flag.String("source", "kqr-feed", "stable source id (the receiver keys resume state on it)")
+		seed       = flag.Int64("seed", 20120401, "corpus seed (match the server's for identical vocabulary)")
+		papers     = flag.Int("papers", 3000, "corpus size in papers (shapes the mutation vocabulary)")
+		confs      = flag.Int("confs", 0, "conference count; must not exceed the server's (0 = generator default)")
+		batches    = flag.Uint64("batches", 100, "batches in the change stream")
+		batchSize  = flag.Int("batch-size", 16, "paper inserts per batch")
+		deleteFrac = flag.Float64("delete-frac", 0.25, "fraction of each batch's inserts deleted two batches later")
+		rate       = flag.Float64("rate", 50, "send rate in batches per second (0 = unlimited)")
+		window     = flag.Int("window", 32, "max unacknowledged batches in flight")
+		quiet      = flag.Bool("quiet", false, "suppress per-connection log lines")
+	)
+	flag.Parse()
+	if err := run(*server, *source, *seed, *papers, *confs, *batches, *batchSize, *deleteFrac, *rate, *window, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "kqr-feed:", err)
+		os.Exit(1)
+	}
+}
+
+// mutationSource adapts dblpgen's neutral mutation batches to the CDC
+// Source interface.
+type mutationSource struct{ m *dblpgen.Mutator }
+
+func (s mutationSource) Batch(seq uint64) ([]live.Delta, bool, error) {
+	muts, ok, err := s.m.Batch(seq)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	deltas := make([]live.Delta, len(muts))
+	for i, mu := range muts {
+		if mu.Insert {
+			deltas[i] = live.Delta{Op: live.OpInsert, Table: "papers", Values: []relstore.Value{
+				relstore.Int(mu.PID), relstore.String(mu.Title), relstore.Int(mu.Conf)}}
+		} else {
+			deltas[i] = live.Delta{Op: live.OpDelete, Table: "papers", Key: relstore.Int(mu.PID)}
+		}
+	}
+	return deltas, true, nil
+}
+
+func run(server, source string, seed int64, papers, confs int, batches uint64, batchSize int, deleteFrac, rate float64, window int, quiet bool) error {
+	fmt.Printf("generating corpus (seed=%d papers=%d) for the mutation stream...\n", seed, papers)
+	c, err := dblpgen.Generate(dblpgen.Config{Seed: seed, Papers: papers, Confs: confs})
+	if err != nil {
+		return err
+	}
+	mut, err := dblpgen.NewMutator(c, dblpgen.MutatorConfig{
+		Batches: batches, BatchSize: batchSize, DeleteFrac: deleteFrac,
+	})
+	if err != nil {
+		return err
+	}
+	ins, del := mut.Counts()
+	fmt.Printf("stream: %d batches × %d inserts (%d inserts, %d deletes, net +%d rows)\n",
+		batches, batchSize, ins, del, ins-del)
+
+	opts := cdc.FeederOptions{
+		Source:        source,
+		Window:        window,
+		BatchesPerSec: rate,
+		Fingerprint:   cdc.SchemaFingerprint(c.DB),
+	}
+	if !quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	f := cdc.NewFeeder(server, opts)
+
+	// SIGINT/SIGTERM cancel the stream; resume state lives on the
+	// receiver, so a later run with the same -source picks up from the
+	// last acknowledged batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	progress := time.NewTicker(2 * time.Second)
+	defer progress.Stop()
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-progress.C:
+				st := f.Status()
+				fmt.Printf("sent %d/%d acked %d (epoch %d, receiver pending %d)\n",
+					st.LastSent, batches, st.LastAcked, st.Epoch, st.Pending)
+			}
+		}
+	}()
+
+	start := time.Now()
+	err = f.Run(ctx, mutationSource{m: mut})
+	close(done)
+	st := f.Status()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("interrupted at seq %d (acked %d); rerun with -source %q to resume\n",
+				st.LastSent, st.LastAcked, source)
+			return nil
+		}
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Printf("done: %d batches (%d deltas) acknowledged in %v over %d connection(s), resumed from seq %d\n",
+		st.LastAcked, ins+del, elapsed, st.Connects, st.ResumedFrom)
+	return nil
+}

@@ -56,6 +56,14 @@
 //
 //	kqr-server -addr :8080 -live -repl-dir /var/lib/kqr/log   # leader
 //	kqr-server -addr :8081 -follow http://leader:8080         # follower
+//
+// With -cdc (needs -live) the server also accepts streamed change-data
+// capture on POST /cdc/stream: long-lived binary KQRCDC streams from
+// kqr-feed (or any cdc.Feeder) with per-source sequence numbers for
+// exactly-once staging, resume after reconnect, and backpressure by
+// withheld acks once -cdc-max-pending deltas are staged. Stream and lag
+// stats appear under "cdc" in /api/metrics. Followers reject CDC the
+// same way they reject admin writes — feed the leader.
 package main
 
 import (
@@ -71,6 +79,7 @@ import (
 	"time"
 
 	"kqr"
+	"kqr/internal/cdc"
 	"kqr/internal/repl"
 	"kqr/server"
 	"kqr/synthetic"
@@ -96,6 +105,8 @@ type config struct {
 	replDir     string
 	follow      string
 	followLag   uint64
+	cdc         bool
+	cdcPending  int
 }
 
 func main() {
@@ -118,6 +129,8 @@ func main() {
 	flag.StringVar(&cfg.replDir, "repl-dir", "", "journal promotions into a delta log here and serve the replication protocol (needs -live)")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a follower of the leader at this base URL (replaces local corpus flags)")
 	flag.Uint64Var(&cfg.followLag, "follow-max-lag", 1, "max promotions behind the leader before /readyz reports not ready")
+	flag.BoolVar(&cfg.cdc, "cdc", false, "accept streamed CDC ingestion on POST /cdc/stream (needs -live)")
+	flag.IntVar(&cfg.cdcPending, "cdc-max-pending", 0, "withhold CDC acks once this many deltas are staged (0 = receiver default)")
 	flag.Parse()
 	runFn := run
 	if cfg.follow != "" {
@@ -222,6 +235,16 @@ func run(cfg config) error {
 		st := leader.Status()
 		fmt.Printf("replication leader: delta log in %s (%d segments, next record %d), protocol on /repl/\n",
 			cfg.replDir, st.Segments, st.LogEnd)
+	}
+	if cfg.cdc {
+		if !cfg.live {
+			return fmt.Errorf("-cdc needs -live: streamed deltas stage into the live index")
+		}
+		mgr, _ := eng.Replication()
+		recv := cdc.NewReceiver(mgr, cdc.ReceiverOptions{MaxPending: cfg.cdcPending})
+		opts = append(opts, server.WithCDC(recv))
+		fmt.Printf("CDC ingestion: streams on POST /cdc/stream, ack backpressure above %d staged deltas\n",
+			recv.Status().MaxPending)
 	}
 	srv, err := server.New(eng, opts...)
 	if err != nil {

@@ -603,6 +603,12 @@ func (e *Engine) Epoch() uint64 { return e.mgr.Epoch() }
 // promotion.
 func (e *Engine) PendingDeltas() int { return e.mgr.Pending() }
 
+// Live reports whether the engine was opened with live ingestion
+// enabled. Subsystems that stage deltas through the generation manager
+// directly (replication, CDC) check this before bypassing the
+// Ingest/Promote gate.
+func (e *Engine) Live() bool { return e.opts.Live }
+
 // Replication exposes the engine's generation manager and build config
 // to the replication subsystem (internal/repl): the leader journals the
 // manager's epoch transitions, a follower drives the manager in

@@ -1,0 +1,390 @@
+package cdc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kqr/internal/live"
+)
+
+// Feeder defaults.
+const (
+	defaultWindow     = 32
+	defaultFeederBeat = 3 * time.Second
+	defaultMinBackoff = 100 * time.Millisecond
+	defaultMaxBackoff = 5 * time.Second
+)
+
+// Source produces the change stream a Feeder ships. Batch returns the
+// deltas for a 1-based sequence number, or ok=false once the stream is
+// exhausted. It must be deterministic — after a reconnect the feeder
+// re-requests every sequence past the receiver's ack, so the Source IS
+// the replay buffer; no local spool file exists.
+type Source interface {
+	Batch(seq uint64) ([]live.Delta, bool, error)
+}
+
+// FeederOptions configures a Feeder. Source is required; zero values
+// elsewhere take the documented defaults.
+type FeederOptions struct {
+	// Source is the stable id this feeder claims; the receiver keys its
+	// per-source sequence high-water mark on it. Required.
+	Source string
+	// Client is the HTTP client to dial with (default
+	// http.DefaultClient). It must not impose a whole-request Timeout —
+	// the stream is long-lived.
+	Client *http.Client
+	// Window bounds unacknowledged in-flight batches; the feeder stalls
+	// at the bound until acks arrive, which is how receiver
+	// backpressure (withheld acks) propagates (default 32).
+	Window int
+	// BatchesPerSec rate-limits sending; 0 means unlimited.
+	BatchesPerSec float64
+	// Fingerprint, if non-empty, must match the receiver's schema
+	// fingerprint or the feeder stops with ErrRejected. Empty adopts
+	// whatever the receiver reports.
+	Fingerprint string
+	// Heartbeat is how often an idle stream sends a heartbeat frame
+	// (default 3s).
+	Heartbeat time.Duration
+	// MinBackoff and MaxBackoff bound the exponential reconnect delay
+	// (defaults 100ms and 5s). Backoff resets whenever a session makes
+	// ack progress.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Logf, if set, receives one line per connection event. Nil means
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+func (o FeederOptions) withDefaults() FeederOptions {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Window <= 0 {
+		o.Window = defaultWindow
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = defaultFeederBeat
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = defaultMinBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = defaultMaxBackoff
+	}
+	return o
+}
+
+// FeederStatus is a Feeder's point-in-time progress.
+type FeederStatus struct {
+	// Connects counts stream connections, including reconnects.
+	Connects uint64
+	// LastSent and LastAcked are the sequence high-water marks; their
+	// gap is the in-flight window in use.
+	LastSent  uint64
+	LastAcked uint64
+	// ResumedFrom is the receiver's ack point at the latest connect —
+	// after a crash it shows where replay started.
+	ResumedFrom uint64
+	// Epoch and Pending echo the receiver's last ack: its generation
+	// epoch and staged backlog (the staleness the feeder is observing).
+	Epoch   uint64
+	Pending uint32
+	// Done reports that every batch the Source produced was
+	// acknowledged and the stream closed cleanly.
+	Done bool
+}
+
+// Feeder ships a Source's delta batches to a receiver's /cdc/stream
+// endpoint: bounded in-flight window keyed on cumulative acks,
+// exponential-backoff reconnect, resume from the receiver's last
+// acknowledged sequence. One Run per Feeder.
+type Feeder struct {
+	base string
+	opts FeederOptions
+
+	mu     sync.Mutex
+	status FeederStatus
+}
+
+// terminalError marks a session error that reconnecting cannot fix.
+type terminalError struct{ err error }
+
+// Error returns the wrapped error's message.
+func (e terminalError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e terminalError) Unwrap() error { return e.err }
+
+// NewFeeder builds a Feeder targeting a server base URL (e.g.
+// "http://host:7071"); the stream endpoint path is appended.
+func NewFeeder(base string, opts FeederOptions) *Feeder {
+	return &Feeder{base: strings.TrimRight(base, "/"), opts: opts.withDefaults()}
+}
+
+// Status snapshots the feeder's progress.
+func (f *Feeder) Status() FeederStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status
+}
+
+func (f *Feeder) update(fn func(*FeederStatus)) {
+	f.mu.Lock()
+	fn(&f.status)
+	f.mu.Unlock()
+}
+
+func (f *Feeder) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// Run feeds src until it is exhausted and fully acknowledged (returns
+// nil), the context ends, the receiver rejects the stream (ErrRejected),
+// or src fails. Transport drops reconnect with exponential backoff and
+// resume from the receiver's ack point.
+func (f *Feeder) Run(ctx context.Context, src Source) error {
+	if f.opts.Source == "" {
+		return errors.New("cdc: FeederOptions.Source is required")
+	}
+	backoff := f.opts.MinBackoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		before := f.Status().LastAcked
+		finished, err := f.session(ctx, src)
+		if finished {
+			f.update(func(s *FeederStatus) { s.Done = true })
+			return nil
+		}
+		var term terminalError
+		if errors.As(err, &term) {
+			return term.err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if f.Status().LastAcked > before {
+			backoff = f.opts.MinBackoff
+		} else {
+			backoff = min(backoff*2, f.opts.MaxBackoff)
+		}
+		f.logf("cdc feeder %q: stream ended (%v), reconnecting in %v", f.opts.Source, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// session runs one connection: handshake, then the send/ack loop.
+// finished=true means the Source is exhausted and fully acked; a nil
+// error with finished=false means a transient drop worth a reconnect.
+func (f *Feeder) session(ctx context.Context, src Source) (finished bool, err error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	pr, pw := io.Pipe()
+	defer pw.CloseWithError(io.ErrClosedPipe)
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost, f.base+"/cdc/stream", pr)
+	if err != nil {
+		return false, terminalError{err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+
+	// The server answers only after reading our hello, and client.Do
+	// blocks until response headers arrive — so the hello must go down
+	// the pipe concurrently with Do.
+	go func() {
+		if err := writeStreamHeader(pw); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		if err := writeFrame(pw, frame{kind: kindHello, source: f.opts.Source, fingerprint: f.opts.Fingerprint}); err != nil {
+			pw.CloseWithError(err)
+		}
+	}()
+
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("cdc: dial: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return false, terminalError{fmt.Errorf("%w: %v", ErrRejected, err)}
+		}
+		return false, err
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	if err := readStreamHeader(br); err != nil {
+		return false, err
+	}
+	welcome, err := readFrame(br)
+	if err != nil {
+		return false, fmt.Errorf("cdc: reading welcome: %w", err)
+	}
+	if welcome.kind == kindError {
+		return false, terminalError{fmt.Errorf("%w: %s", ErrRejected, welcome.message)}
+	}
+	if welcome.kind != kindWelcome {
+		return false, fmt.Errorf("%w: first frame kind %d, want welcome", ErrProtocol, welcome.kind)
+	}
+	if f.opts.Fingerprint != "" && welcome.fingerprint != f.opts.Fingerprint {
+		return false, terminalError{fmt.Errorf("%w: schema fingerprint mismatch", ErrRejected)}
+	}
+
+	f.update(func(s *FeederStatus) {
+		s.Connects++
+		s.ResumedFrom = welcome.seq
+		s.LastAcked = welcome.seq
+		s.LastSent = welcome.seq
+		s.Epoch = welcome.epoch
+	})
+	f.logf("cdc feeder %q: connected, resuming after seq %d (epoch %d)", f.opts.Source, welcome.seq, welcome.epoch)
+
+	// Reader goroutine: acks advance the shared high-water mark and nudge
+	// the sender; a server error frame is terminal for the whole Run.
+	var (
+		acked      atomic.Uint64
+		notify     = make(chan struct{}, 1)
+		readerDone = make(chan struct{})
+		readerErr  error // valid after readerDone closes
+	)
+	acked.Store(welcome.seq)
+	go func() {
+		defer close(readerDone)
+		for {
+			fr, err := readFrame(br)
+			if err != nil {
+				if err != io.EOF {
+					readerErr = err
+				}
+				return
+			}
+			switch fr.kind {
+			case kindAck:
+				if fr.seq > acked.Load() {
+					acked.Store(fr.seq)
+					f.update(func(s *FeederStatus) {
+						s.LastAcked = fr.seq
+						s.Epoch = fr.epoch
+						s.Pending = fr.pending
+					})
+				}
+				select {
+				case notify <- struct{}{}:
+				default:
+				}
+			case kindHeartbeat:
+				// liveness only
+			case kindError:
+				readerErr = terminalError{fmt.Errorf("%w: %s", ErrRejected, fr.message)}
+				return
+			default:
+				readerErr = fmt.Errorf("%w: unexpected frame kind %d mid-stream", ErrProtocol, fr.kind)
+				return
+			}
+		}
+	}()
+
+	var interval time.Duration
+	if f.opts.BatchesPerSec > 0 {
+		interval = time.Duration(float64(time.Second) / f.opts.BatchesPerSec)
+	}
+	var nextSend time.Time
+	sent := welcome.seq
+	ended := false
+	for {
+		a := acked.Load()
+		if ended && a >= sent {
+			// Everything acked: close our half, then wait for the
+			// server to finish its side so final acks are not lost.
+			pw.Close()
+			select {
+			case <-readerDone:
+			case <-sctx.Done():
+				return false, sctx.Err()
+			}
+			if readerErr != nil {
+				return false, readerErr
+			}
+			return true, nil
+		}
+		if !ended && sent-a < uint64(f.opts.Window) {
+			seq := sent + 1
+			deltas, ok, err := src.Batch(seq)
+			if err != nil {
+				return false, terminalError{fmt.Errorf("cdc: source batch %d: %w", seq, err)}
+			}
+			if !ok {
+				ended = true
+				continue
+			}
+			if interval > 0 {
+				now := time.Now()
+				if nextSend.IsZero() {
+					nextSend = now
+				}
+				if wait := nextSend.Sub(now); wait > 0 {
+					select {
+					case <-sctx.Done():
+						return false, sctx.Err()
+					case <-readerDone:
+						return false, f.streamClosed(readerErr)
+					case <-time.After(wait):
+					}
+				}
+				nextSend = nextSend.Add(interval)
+			}
+			if err := writeFrame(pw, frame{kind: kindBatch, seq: seq, deltas: deltas}); err != nil {
+				return false, f.streamClosed(err)
+			}
+			sent = seq
+			f.update(func(s *FeederStatus) { s.LastSent = seq })
+			continue
+		}
+		// Window full, or drained and waiting for trailing acks.
+		select {
+		case <-notify:
+		case <-readerDone:
+			return false, f.streamClosed(readerErr)
+		case <-sctx.Done():
+			return false, sctx.Err()
+		case <-time.After(f.opts.Heartbeat):
+			if err := writeFrame(pw, frame{kind: kindHeartbeat, seq: sent}); err != nil {
+				return false, f.streamClosed(err)
+			}
+		}
+	}
+}
+
+// streamClosed normalizes a mid-session drop: terminal errors pass
+// through, anything else (including nil, the clean-EOF case) becomes a
+// transient "stream closed" error that triggers a reconnect.
+func (f *Feeder) streamClosed(err error) error {
+	var term terminalError
+	if errors.As(err, &term) {
+		return term
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("cdc: stream closed: %w", err)
+}

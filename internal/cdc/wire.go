@@ -1,0 +1,363 @@
+package cdc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+
+	"kqr/internal/live"
+	"kqr/internal/relstore"
+)
+
+// streamMagic opens every KQRCDC stream, in each direction.
+var streamMagic = [6]byte{'K', 'Q', 'R', 'C', 'D', 'C'}
+
+// streamVersion is the frame format this package speaks. A receiver
+// rejects other versions during the handshake.
+const streamVersion uint16 = 1
+
+// Frame kinds. The protocol is strict: a kind unexpected in the current
+// state is a protocol error, not skipped (dropping a batch or an ack
+// would silently lose or stall deltas).
+const (
+	// kindHello is the feeder's first frame: source id and expected
+	// schema fingerprint ("" = adopt the receiver's).
+	kindHello uint8 = 1
+	// kindWelcome is the receiver's first frame: its schema fingerprint,
+	// the source's last staged sequence (resume point), the current
+	// generation epoch, and the backpressure bound.
+	kindWelcome uint8 = 2
+	// kindBatch carries one sequenced delta batch, feeder → receiver.
+	kindBatch uint8 = 3
+	// kindAck acknowledges every batch staged so far (cumulative),
+	// receiver → feeder, with the current epoch and pending backlog.
+	kindAck uint8 = 4
+	// kindHeartbeat keeps an idle stream visibly alive in either
+	// direction; seq echoes the sender's high-water mark.
+	kindHeartbeat uint8 = 5
+	// kindError is a terminal rejection, receiver → feeder: the message
+	// explains why, and the stream closes after it.
+	kindError uint8 = 6
+)
+
+// maxFrameBody bounds one frame's encoded body; a larger length prefix
+// marks a corrupt or foreign stream.
+const maxFrameBody = 64 << 20
+
+// maxWireString bounds any single encoded string.
+const maxWireString = 1 << 20
+
+// Sentinel errors classifying CDC stream failures; test with errors.Is.
+var (
+	// ErrCorrupt means a frame failed its CRC or structural validation,
+	// or the stream did not start with the KQRCDC header.
+	ErrCorrupt = errors.New("cdc: corrupt frame")
+	// ErrProtocol means a structurally valid frame violated the
+	// protocol: wrong kind for the state, or a sequence gap.
+	ErrProtocol = errors.New("cdc: protocol violation")
+	// ErrRejected means the receiver terminated the stream with an
+	// error frame (fingerprint mismatch, invalid deltas); reconnecting
+	// will not help until the cause is fixed.
+	ErrRejected = errors.New("cdc: stream rejected by receiver")
+)
+
+// frame is one decoded KQRCDC frame. Which fields are meaningful
+// depends on kind (see the kind constants).
+type frame struct {
+	kind        uint8
+	source      string       // hello
+	fingerprint string       // hello, welcome
+	seq         uint64       // batch, ack, heartbeat; welcome: resume point
+	epoch       uint64       // welcome, ack
+	pending     uint32       // ack: staged backlog; welcome: backpressure bound
+	deltas      []live.Delta // batch
+	message     string       // error
+}
+
+// writeStreamHeader emits the per-direction stream opening: magic and
+// version.
+func writeStreamHeader(w io.Writer) error {
+	var b [8]byte
+	copy(b[:6], streamMagic[:])
+	binary.LittleEndian.PutUint16(b[6:], streamVersion)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readStreamHeader consumes and checks the stream opening.
+func readStreamHeader(r io.Reader) error {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("%w: truncated stream header", ErrCorrupt)
+	}
+	if [6]byte(b[:6]) != streamMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:6])
+	}
+	if v := binary.LittleEndian.Uint16(b[6:]); v != streamVersion {
+		return fmt.Errorf("%w: stream version %d, want %d", ErrProtocol, v, streamVersion)
+	}
+	return nil
+}
+
+// ---- primitive append helpers (the internal/repl wire idiom) -----------
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v relstore.Value) []byte {
+	if v.Kind() == relstore.KindInt {
+		b = appendU8(b, 1)
+		n, _ := v.AsInt()
+		return appendU64(b, uint64(n))
+	}
+	b = appendU8(b, 0)
+	return appendStr(b, v.Text())
+}
+
+// encodeFrameBody renders a frame body: kind, then kind-specific
+// payload.
+func encodeFrameBody(f frame) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = appendU8(b, f.kind)
+	switch f.kind {
+	case kindHello:
+		b = appendStr(b, f.source)
+		b = appendStr(b, f.fingerprint)
+	case kindWelcome:
+		b = appendStr(b, f.fingerprint)
+		b = appendU64(b, f.seq)
+		b = appendU64(b, f.epoch)
+		b = appendU32(b, f.pending)
+	case kindBatch:
+		b = appendU64(b, f.seq)
+		b = appendU32(b, uint32(len(f.deltas)))
+		for _, d := range f.deltas {
+			b = appendU8(b, uint8(d.Op))
+			b = appendStr(b, d.Table)
+			if d.Op == live.OpDelete {
+				b = appendValue(b, d.Key)
+				continue
+			}
+			b = appendU16(b, uint16(len(d.Values)))
+			for _, v := range d.Values {
+				b = appendValue(b, v)
+			}
+		}
+	case kindAck:
+		b = appendU64(b, f.seq)
+		b = appendU64(b, f.epoch)
+		b = appendU32(b, f.pending)
+	case kindHeartbeat:
+		b = appendU64(b, f.seq)
+	case kindError:
+		b = appendStr(b, f.message)
+	default:
+		return nil, fmt.Errorf("cdc: unknown frame kind %d", f.kind)
+	}
+	return b, nil
+}
+
+// writeFrame frames and writes one frame: u32 body length, body, u32
+// CRC-32 (IEEE) over the body.
+func writeFrame(w io.Writer, f frame) error {
+	body, err := encodeFrameBody(f)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(body)+8)
+	buf = appendU32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = appendU32(buf, crc32.ChecksumIEEE(body))
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one framed frame. A clean io.EOF before the first
+// length byte is returned as io.EOF (end of stream); a truncated frame
+// is io.ErrUnexpectedEOF; a CRC or structural failure wraps ErrCorrupt.
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return frame{}, io.EOF
+		}
+		return frame{}, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if uint64(n) > maxFrameBody {
+		return frame{}, fmt.Errorf("%w: %d-byte frame body exceeds the %d-byte bound", ErrCorrupt, n, maxFrameBody)
+	}
+	buf := make([]byte, n+4) // body + stored CRC
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, io.ErrUnexpectedEOF
+	}
+	body, stored := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return frame{}, fmt.Errorf("%w: frame CRC %08x, stored %08x", ErrCorrupt, got, stored)
+	}
+	return decodeFrameBody(body)
+}
+
+// byteReader decodes primitives from a fully-read frame body with a
+// sticky error, so decoding code reads linearly.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *byteReader) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+}
+
+func (d *byteReader) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(what)
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *byteReader) u8(what string) uint8 {
+	p := d.take(1, what)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *byteReader) u16(what string) uint16 {
+	p := d.take(2, what)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (d *byteReader) u32(what string) uint32 {
+	p := d.take(4, what)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *byteReader) u64(what string) uint64 {
+	p := d.take(8, what)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (d *byteReader) str(what string) string {
+	n := d.u32(what)
+	if uint64(n) > maxWireString {
+		d.fail(what + " (string too long)")
+		return ""
+	}
+	return string(d.take(int(n), what))
+}
+
+func (d *byteReader) value(what string) relstore.Value {
+	if d.u8(what) == 1 {
+		return relstore.Int(int64(d.u64(what)))
+	}
+	return relstore.String(d.str(what))
+}
+
+// decodeFrameBody parses a CRC-verified frame body.
+func decodeFrameBody(body []byte) (frame, error) {
+	d := &byteReader{b: body}
+	f := frame{kind: d.u8("frame kind")}
+	switch f.kind {
+	case kindHello:
+		f.source = d.str("hello source")
+		f.fingerprint = d.str("hello fingerprint")
+	case kindWelcome:
+		f.fingerprint = d.str("welcome fingerprint")
+		f.seq = d.u64("welcome seq")
+		f.epoch = d.u64("welcome epoch")
+		f.pending = d.u32("welcome bound")
+	case kindBatch:
+		f.seq = d.u64("batch seq")
+		count := d.u32("delta count")
+		if uint64(count) > uint64(len(body)) { // each delta is ≥ 1 byte
+			d.fail("delta count")
+			break
+		}
+		f.deltas = make([]live.Delta, 0, count)
+		for i := uint32(0); i < count && d.err == nil; i++ {
+			del := live.Delta{Op: live.Op(d.u8("delta op")), Table: d.str("delta table")}
+			if del.Op == live.OpDelete {
+				del.Key = d.value("delete key")
+			} else {
+				nvals := d.u16("value count")
+				del.Values = make([]relstore.Value, 0, nvals)
+				for j := uint16(0); j < nvals && d.err == nil; j++ {
+					del.Values = append(del.Values, d.value("insert value"))
+				}
+			}
+			f.deltas = append(f.deltas, del)
+		}
+	case kindAck:
+		f.seq = d.u64("ack seq")
+		f.epoch = d.u64("ack epoch")
+		f.pending = d.u32("ack pending")
+	case kindHeartbeat:
+		f.seq = d.u64("heartbeat seq")
+	case kindError:
+		f.message = d.str("error message")
+	default:
+		return frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, f.kind)
+	}
+	if d.err != nil {
+		return frame{}, d.err
+	}
+	if d.off != len(body) {
+		return frame{}, fmt.Errorf("%w: %d trailing bytes in frame body", ErrCorrupt, len(body)-d.off)
+	}
+	return f, nil
+}
+
+// SchemaFingerprint identifies the corpus shape a delta stream targets:
+// every table's name, primary key, columns (name, kind, text mode) and
+// foreign keys, in creation order. Deliberately row-count-free — CDC is
+// the mechanism by which row counts change, so unlike the replication
+// fingerprint it must stay stable across promotions.
+func SchemaFingerprint(db *relstore.Database) string {
+	var b strings.Builder
+	b.WriteString("cdc schema v1")
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			continue
+		}
+		s := t.Schema()
+		fmt.Fprintf(&b, "; %s pk=%s", s.Name, s.PrimaryKey)
+		for _, c := range s.Columns {
+			fmt.Fprintf(&b, " %s:%d:%d", c.Name, int(c.Kind), int(c.Text))
+		}
+		for _, fk := range s.ForeignKeys {
+			fmt.Fprintf(&b, " fk=%s>%s", fk.Column, fk.RefTable)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package cdc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"kqr/internal/live"
+	"kqr/internal/relstore"
+)
+
+// sampleFrames covers every frame kind and both value encodings.
+func sampleFrames() []frame {
+	return []frame{
+		{kind: kindHello, source: "feeder-1", fingerprint: "cdc schema v1; papers pk=pid"},
+		{kind: kindWelcome, fingerprint: "cdc schema v1; papers pk=pid", seq: 41, epoch: 3, pending: 5000},
+		{kind: kindBatch, seq: 42, deltas: []live.Delta{
+			{Op: live.OpInsert, Table: "papers", Values: []relstore.Value{
+				relstore.Int(10_000_001), relstore.String("fresh title words"), relstore.Int(7),
+			}},
+			{Op: live.OpDelete, Table: "papers", Key: relstore.Int(10_000_000)},
+			{Op: live.OpDelete, Table: "conferences", Key: relstore.String("by-name")},
+		}},
+		{kind: kindAck, seq: 42, epoch: 4, pending: 17},
+		{kind: kindHeartbeat, seq: 42},
+		{kind: kindError, message: "schema fingerprint mismatch"},
+	}
+}
+
+// encodeStream renders a full stream: header plus every sample frame.
+func encodeStream(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeStreamHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sampleFrames() {
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// parseStream consumes a stream until EOF or the first error.
+func parseStream(data []byte) ([]frame, error) {
+	r := bytes.NewReader(data)
+	if err := readStreamHeader(r); err != nil {
+		return nil, err
+	}
+	var out []frame
+	for {
+		f, err := readFrame(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	got, err := parseStream(encodeStream(t))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := sampleFrames()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("frame %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamHeaderRejections(t *testing.T) {
+	good := encodeStream(t)
+
+	bad := bytes.Clone(good)
+	bad[0] = 'X'
+	if _, err := parseStream(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	bad = bytes.Clone(good)
+	bad[6], bad[7] = 0xFF, 0xFF
+	if _, err := parseStream(bad); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad version: err = %v, want ErrProtocol", err)
+	}
+
+	if _, err := parseStream([]byte("KQR")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated header: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFlippedByte flips every byte of an encoded stream in turn; every
+// flip must surface as a typed failure — CRC mismatch (ErrCorrupt),
+// version rejection (ErrProtocol), or a length-field flip reading off
+// the end (io.ErrUnexpectedEOF) — never a silent full parse or a panic.
+// CRC-32 detects every ≤8-bit burst, so a body flip cannot sneak
+// through; the data is deterministic, so this is not a flaky 2^-32 dice
+// roll rerun per build.
+func TestFlippedByte(t *testing.T) {
+	enc := encodeStream(t)
+	for i := range enc {
+		bad := bytes.Clone(enc)
+		bad[i] ^= 0x40
+		_, err := parseStream(bad)
+		if err == nil {
+			t.Fatalf("flip at byte %d of %d went undetected", i, len(enc))
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrProtocol) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("flip at byte %d: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestTruncated cuts the stream at every length; a cut must either land
+// exactly on a frame boundary (clean EOF, shorter but valid stream) or
+// fail typed — never hang, panic, or mis-decode.
+func TestTruncated(t *testing.T) {
+	enc := encodeStream(t)
+
+	// Recompute the set of clean cut points: after the header and after
+	// each whole frame (4-byte length + body + 4-byte CRC).
+	boundaries := map[int]bool{8: true}
+	for off := 8; off+4 <= len(enc); {
+		n := int(binary.LittleEndian.Uint32(enc[off:]))
+		off += 4 + n + 4
+		boundaries[off] = true
+	}
+
+	for cut := 0; cut <= len(enc); cut++ {
+		frames, err := parseStream(enc[:cut])
+		if err == nil {
+			if !boundaries[cut] {
+				t.Fatalf("cut at %d parsed cleanly (%d frames) off a frame boundary", cut, len(frames))
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+// FuzzCDCFrame throws arbitrary bytes at the frame decoder: it must
+// never panic, must classify every failure, and anything it accepts
+// must re-encode and re-decode to the same frame.
+func FuzzCDCFrame(f *testing.F) {
+	f.Add([]byte{})
+	var buf bytes.Buffer
+	for _, fr := range sampleFrames() {
+		buf.Reset()
+		if err := writeFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bytes.Clone(buf.Bytes()))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped error %v", err)
+			}
+			return
+		}
+		var re bytes.Buffer
+		if err := writeFrame(&re, fr); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		fr2, err := readFrame(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v", fr2, fr)
+		}
+	})
+}
+
+func TestSchemaFingerprintStability(t *testing.T) {
+	db1 := mustBibDB(t)
+	db2 := mustBibDB(t)
+	fp1, fp2 := SchemaFingerprint(db1), SchemaFingerprint(db2)
+	if fp1 == "" || fp1 != fp2 {
+		t.Fatalf("fingerprint unstable: %q vs %q", fp1, fp2)
+	}
+}

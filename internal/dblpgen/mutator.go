@@ -1,0 +1,156 @@
+package dblpgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Mutation is one change to the papers table: an insert of a fresh
+// synthetic paper, or a delete (by primary key) of a paper this stream
+// inserted earlier. The type is deliberately neutral — dblpgen cannot
+// import the live-index packages without cycling through their tests —
+// so callers adapt it to their delta representation.
+type Mutation struct {
+	// Insert distinguishes the two operations.
+	Insert bool
+	// PID is the paper's primary key (insert and delete).
+	PID int64
+	// Title and Conf complete an inserted row.
+	Title string
+	Conf  int64
+}
+
+// MutatorConfig shapes a deterministic change stream over a generated
+// corpus.
+type MutatorConfig struct {
+	// Seed drives the mutation PRNG (default: the corpus seed + 1, so
+	// mutations differ from generation randomness but stay derived).
+	Seed int64
+	// Batches is how many sequenced batches the stream contains.
+	// Required.
+	Batches uint64
+	// BatchSize is the number of inserted papers per batch (default 16).
+	BatchSize int
+	// DeleteFrac is the fraction of a batch's inserts that are later
+	// deleted again (default 0.25). Batch N deletes from batch N-2, so
+	// every victim is a row this stream inserted itself.
+	DeleteFrac float64
+	// BasePID is the first synthetic paper id (default 10_000_000),
+	// far above both generated corpus pids and the ids other
+	// experiments insert.
+	BasePID int64
+}
+
+// Mutator produces the change stream: a deterministic sequence of
+// mutation batches over a generated corpus. Batch(seq) always returns
+// the same mutations for the same seq, so it doubles as the replay
+// buffer a resuming CDC feeder needs, and Counts gives exact ground
+// truth for reconciliation.
+//
+// Only bare papers rows are inserted (no writes/cites references), and
+// only previously-inserted papers are deleted — so deletes never
+// cascade and the papers table's final cardinality is exactly
+// base + inserts − deletes.
+type Mutator struct {
+	cfg      MutatorConfig
+	confs    int
+	vocab    []string
+	delCount int // deletes per deleting batch
+}
+
+// NewMutator builds the change stream for a corpus.
+func NewMutator(c *Corpus, cfg MutatorConfig) (*Mutator, error) {
+	if cfg.Batches == 0 {
+		return nil, errors.New("dblpgen: MutatorConfig.Batches is required")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = c.Config.Seed + 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.DeleteFrac == 0 {
+		cfg.DeleteFrac = 0.25
+	}
+	if cfg.DeleteFrac < 0 || cfg.DeleteFrac > 1 {
+		return nil, fmt.Errorf("dblpgen: DeleteFrac %v outside [0,1]", cfg.DeleteFrac)
+	}
+	if cfg.BasePID <= 0 {
+		cfg.BasePID = 10_000_000
+	}
+	vocab := make([]string, 0, len(c.Truth.TermTopics))
+	for term := range c.Truth.TermTopics {
+		if !strings.Contains(term, " ") {
+			vocab = append(vocab, term)
+		}
+	}
+	if len(vocab) == 0 {
+		return nil, errors.New("dblpgen: corpus has no vocabulary to title mutations with")
+	}
+	sort.Strings(vocab)
+	delCount := int(cfg.DeleteFrac * float64(cfg.BatchSize))
+	if delCount >= cfg.BatchSize {
+		delCount = cfg.BatchSize - 1 // net growth keeps pids unique forever
+	}
+	return &Mutator{cfg: cfg, confs: c.Config.Confs, vocab: vocab, delCount: delCount}, nil
+}
+
+// FreshTerm is the marker word leading batch seq's first title — a
+// term that exists in no generation before that batch is promoted, so
+// its queryability proves the stream reached the index.
+func (m *Mutator) FreshTerm(seq uint64) string {
+	return fmt.Sprintf("cdcterm%d", seq)
+}
+
+// Counts returns the stream's exact ground truth: total rows inserted
+// and deleted across all batches. After every batch is applied,
+// papers must hold base + inserts − deletes rows.
+func (m *Mutator) Counts() (inserts, deletes int) {
+	inserts = int(m.cfg.Batches) * m.cfg.BatchSize
+	if m.cfg.Batches >= 3 {
+		deletes = int(m.cfg.Batches-2) * m.delCount
+	}
+	return inserts, deletes
+}
+
+// Batch returns the mutations for a 1-based sequence. The result is a
+// pure function of (config, seq): each batch gets its own PRNG, so
+// replaying any suffix after a crash reproduces it byte for byte.
+func (m *Mutator) Batch(seq uint64) ([]Mutation, bool, error) {
+	if seq == 0 {
+		return nil, false, errors.New("dblpgen: batch sequences are 1-based")
+	}
+	if seq > m.cfg.Batches {
+		return nil, false, nil
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(seq*0x9E3779B97F4A7C15)))
+	muts := make([]Mutation, 0, m.cfg.BatchSize+m.delCount)
+	for i := 0; i < m.cfg.BatchSize; i++ {
+		pid := m.cfg.BasePID + int64(seq-1)*int64(m.cfg.BatchSize) + int64(i)
+		words := make([]string, 0, 5)
+		if i == 0 {
+			words = append(words, m.FreshTerm(seq))
+		}
+		for n := 2 + rng.Intn(3); len(words) < n; {
+			words = append(words, m.vocab[rng.Intn(len(m.vocab))])
+		}
+		muts = append(muts, Mutation{
+			Insert: true,
+			PID:    pid,
+			Title:  strings.Join(words, " "),
+			Conf:   int64(1 + rng.Intn(m.confs)),
+		})
+	}
+	// Delete a slice of batch seq-2's inserts: old enough that the
+	// victims are unambiguous, recent enough to keep churn realistic.
+	if seq >= 3 {
+		victimBase := m.cfg.BasePID + int64(seq-3)*int64(m.cfg.BatchSize)
+		for j := 0; j < m.delCount; j++ {
+			muts = append(muts, Mutation{PID: victimBase + int64(j)})
+		}
+	}
+	return muts, true, nil
+}

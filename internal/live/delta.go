@@ -43,6 +43,22 @@ func (d Delta) String() string {
 	return fmt.Sprintf("insert %s (%d values)", d.Table, len(d.Values))
 }
 
+// DeltaError reports which delta in a batch failed validation, so a
+// caller staging hundreds of changes can point at the offender instead
+// of rejecting the batch opaquely.
+type DeltaError struct {
+	// Index is the delta's position in the submitted batch.
+	Index int
+	// Err is the underlying validation failure.
+	Err error
+}
+
+// Error renders the indexed failure.
+func (e *DeltaError) Error() string { return fmt.Sprintf("delta %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying validation error to errors.Is/As.
+func (e *DeltaError) Unwrap() error { return e.Err }
+
 // validate checks a delta against the schema of the database it will
 // eventually apply to. It is the cheap admission check run at Ingest
 // time; full referential checking happens when the delta is applied.

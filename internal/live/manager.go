@@ -124,9 +124,9 @@ func (m *Manager) Ingest(deltas []Delta) error {
 		return nil
 	}
 	db := m.Current().DB
-	for _, d := range deltas {
+	for i, d := range deltas {
 		if err := validateDelta(db, d); err != nil {
-			return err
+			return &DeltaError{Index: i, Err: err}
 		}
 	}
 	var promoteNow bool

@@ -146,6 +146,9 @@ const maxIngestBody = 8 << 20
 func (s *Server) handleAdminIngest(w http.ResponseWriter, r *http.Request) (any, error) {
 	var req ingestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	// A typoed key (say "delats") must be a 400, not a silently staged
+	// empty batch.
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return nil, badRequest{fmt.Errorf("bad ingest body: %w", err)}
 	}

@@ -1,0 +1,25 @@
+package server
+
+import (
+	"kqr/internal/cdc"
+)
+
+// WithCDC mounts the change-data-capture ingestion endpoint
+// (POST /cdc/stream) backed by recv, and includes the receiver's
+// stream/lag/sequence statistics as the "cdc" block of /api/metrics.
+// The receiver must stage into the same engine's generation manager,
+// the engine must be opened with Options.Live, and the server must not
+// be a replication follower (a follower's corpus is defined by the
+// leader's log; feed the leader instead) — New rejects both misuses.
+func WithCDC(recv *cdc.Receiver) Option {
+	return func(s *Server) { s.cdcRecv = recv }
+}
+
+// cdcStatus assembles the metrics block, nil when CDC is not mounted.
+func (s *Server) cdcStatus() *cdc.ReceiverStatus {
+	if s.cdcRecv == nil {
+		return nil
+	}
+	st := s.cdcRecv.Status()
+	return &st
+}

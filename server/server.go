@@ -34,6 +34,11 @@
 // configured bound, and /api/metrics gains a "replication" block with
 // the epoch delta, last-applied offset and bytes behind.
 //
+// CDC ingestion (see internal/cdc): WithCDC mounts POST /cdc/stream, a
+// long-lived binary change-data-capture stream with exactly-once
+// staging, withheld-ack backpressure and resume-from-ack; /api/metrics
+// gains a "cdc" block with per-source stream, lag and sequence stats.
+//
 // Queries use the engine's syntax: whitespace-separated terms, double
 // quotes around multi-word terms.
 //
@@ -61,6 +66,7 @@ import (
 	"time"
 
 	"kqr"
+	"kqr/internal/cdc"
 	"kqr/internal/flight"
 	"kqr/internal/repl"
 	"kqr/internal/serving"
@@ -90,6 +96,10 @@ type Server struct {
 	replLeader   *repl.Leader
 	replFollower *repl.Follower
 	replMaxLag   uint64
+
+	// cdcRecv, when set, mounts POST /cdc/stream and reports CDC
+	// ingestion status in metrics.
+	cdcRecv *cdc.Receiver
 }
 
 // Option customizes a Server.
@@ -156,6 +166,17 @@ func New(eng *kqr.Engine, opts ...Option) (*Server, error) {
 		// The replication protocol bypasses cache and limiter like the
 		// health probes: followers must reach a saturated leader.
 		mux.Handle("GET /repl/", s.replLeader.Handler())
+	}
+	if s.cdcRecv != nil {
+		if !eng.Live() {
+			return nil, errors.New("server: CDC ingestion requires an engine opened with Options.Live")
+		}
+		if s.replFollower != nil {
+			return nil, errors.New("server: a follower cannot accept CDC streams; feed the leader")
+		}
+		// Long-lived binary streams: bypass cache and limiter, which are
+		// sized for request/response traffic.
+		mux.HandleFunc("POST /cdc/stream", s.cdcRecv.ServeStream)
 	}
 	mux.HandleFunc("GET /", s.handleUI)
 	s.mux = mux
@@ -338,6 +359,7 @@ func (s *Server) compute(h func(r *http.Request) (any, error), r *http.Request) 
 type metricsResponse struct {
 	serving.Snapshot
 	Replication *replicationMetrics `json:"replication,omitempty"`
+	CDC         *cdc.ReceiverStatus `json:"cdc,omitempty"`
 }
 
 // handleMetrics serves the serving-layer snapshot. It deliberately
@@ -345,7 +367,7 @@ type metricsResponse struct {
 // its own health questions.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	resp := metricsResponse{Snapshot: s.Metrics(), Replication: s.replication()}
+	resp := metricsResponse{Snapshot: s.Metrics(), Replication: s.replication(), CDC: s.cdcStatus()}
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		s.logger.Printf("%s %s: encode: %v", r.Method, r.URL.Path, err)
 	}
