@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath docs-check fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath bench-diskmode bench-all docs-check fuzz experiments demo clean
 
 all: check
 
@@ -17,11 +17,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Doc-comment gate: every exported identifier in the root package and
-# internal/artifact must carry a godoc comment (vet catches malformed
-# ones; the script catches missing ones).
+# Doc-comment gate: every exported identifier in the listed packages
+# must carry a godoc comment, and every listed package must carry a
+# package doc comment (vet catches malformed ones; the script catches
+# missing ones).
 docs-check: vet
-	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed internal/cdc
+	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed internal/cdc internal/diskmode
 
 test:
 	$(GO) test ./...
@@ -81,6 +82,18 @@ bench-cdc:
 bench-hotpath:
 	$(GO) run ./cmd/kqr-bench -exp hotpath -strict -json BENCH_hotpath.json
 
+# Disk mode: serve the paged v2 snapshot under a byte budget far below
+# the tables' decoded size and compare query p50/p99 against in-RAM
+# serving, after a full-vocabulary bit-identity check, written as
+# BENCH_diskmode.json. -strict fails the run unless the tables exceed
+# the budget and the page cache faulted and evicted, so this target
+# doubles as the regression gate.
+bench-diskmode:
+	$(GO) run ./cmd/kqr-bench -exp diskmode -strict -queries 200 -reps 10 -json BENCH_diskmode.json
+
+# Every bench-* target in one pass; each writes its BENCH_*.json.
+bench-all: bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath bench-diskmode
+
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s .
@@ -88,7 +101,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=20s ./internal/textindex/
 	$(GO) test -fuzz=FuzzKeyInjective -fuzztime=20s ./internal/serving/
 	$(GO) test -fuzz=FuzzCacheKeyCanonical -fuzztime=20s ./server/
-	$(GO) test -fuzz=FuzzLoad -fuzztime=20s ./internal/artifact/
+	$(GO) test -fuzz='FuzzLoad$$' -fuzztime=20s ./internal/artifact/
+	$(GO) test -fuzz='FuzzLoadPaged$$' -fuzztime=20s ./internal/artifact/
 	$(GO) test -fuzz=FuzzCDCFrame -fuzztime=20s ./internal/cdc/
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md data).

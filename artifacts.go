@@ -3,6 +3,7 @@ package kqr
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -27,10 +28,16 @@ type ArtifactInfo struct {
 	// FallbackReason explains why a requested snapshot was not used
 	// (Options.ArtifactPath set but the load failed); empty otherwise.
 	FallbackReason string
+	// Disk is true when the tables are served page-by-page from the
+	// snapshot file (Options.DiskMode) rather than decoded into RAM.
+	Disk bool
 }
 
 // String renders the provenance the way GraphStats embeds it.
 func (a ArtifactInfo) String() string {
+	if a.Loaded && a.Disk {
+		return fmt.Sprintf("paged snapshot v%d (%s, disk mode)", a.FormatVersion, a.Path)
+	}
 	if a.Loaded {
 		return fmt.Sprintf("snapshot v%d (%s)", a.FormatVersion, a.Path)
 	}
@@ -95,13 +102,38 @@ func (e *Engine) SaveArtifacts(path string) error {
 	if err != nil {
 		return err
 	}
+	return writeSnapshotFile(path, snap.Write)
+}
+
+// SaveArtifactsPaged writes the offline tables as a KQRART v2 paged
+// snapshot: the same vocabulary and tables as SaveArtifacts, but with
+// each table split into a resident page index and a page-aligned entry
+// blob, so a later Open with Options.DiskMode can serve it without
+// decoding the tables into RAM. A v2 file also loads through the plain
+// restore path (Options.ArtifactPath without DiskMode) — paged saving
+// costs nothing in compatibility. The write is temp-file atomic like
+// SaveArtifacts.
+func (e *Engine) SaveArtifactsPaged(path string) error {
+	snap, err := e.buildSnapshot(e.cur())
+	if err != nil {
+		return err
+	}
+	return writeSnapshotFile(path, func(w io.Writer) error {
+		return snap.WritePaged(w, artifact.PagedOptions{})
+	})
+}
+
+// writeSnapshotFile streams a snapshot encoding to path atomically: a
+// temp file in the same directory is renamed over path only after a
+// successful buffered write.
+func writeSnapshotFile(path string, write func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".kqr-snapshot-*")
 	if err != nil {
 		return fmt.Errorf("kqr: saving artifacts: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	bw := bufio.NewWriterSize(tmp, 1<<20)
-	if err := snap.Write(bw); err != nil {
+	if err := write(bw); err != nil {
 		tmp.Close()
 		return fmt.Errorf("kqr: saving artifacts to %s: %w", path, err)
 	}
@@ -157,6 +189,14 @@ func (e *Engine) loadSnapshotFile(g *live.Generation, path string) (*artifact.Sn
 // calls this automatically when Options.ArtifactPath is set, falling
 // back to live compute on any error.
 func (e *Engine) LoadArtifacts(path string) error {
+	if e.opts.DiskMode {
+		// A serving generation's fields are immutable; swapping its disk
+		// store in place would race readers mid-fault. The reload path
+		// builds a fresh generation, attaches the new store, and swaps —
+		// the old store drains and closes when the old generation
+		// retires.
+		return e.ReloadArtifacts(path)
+	}
 	snap, err := e.loadSnapshotFile(e.cur(), path)
 	if err != nil {
 		return err
@@ -179,14 +219,26 @@ func (e *Engine) ReloadArtifacts(path string) error {
 	if err != nil {
 		return fmt.Errorf("kqr: reloading artifacts: %w", err)
 	}
-	snap, err := e.loadSnapshotFile(g, path)
-	if err != nil {
-		return err
+	info := ArtifactInfo{Loaded: true, Path: path}
+	if e.opts.DiskMode {
+		if err := e.attachDiskTables(g, path); err != nil {
+			return err
+		}
+		info.FormatVersion, info.Disk = artifact.FormatVersionPaged, true
+	} else {
+		snap, err := e.loadSnapshotFile(g, path)
+		if err != nil {
+			return err
+		}
+		info.FormatVersion = snap.Version
 	}
 	if _, err := e.mgr.Swap(g); err != nil {
+		if g.Pager != nil {
+			g.Pager.Close()
+		}
 		return fmt.Errorf("kqr: reloading artifacts: %w", err)
 	}
-	e.setArtifact(ArtifactInfo{Loaded: true, Path: path, FormatVersion: snap.Version})
+	e.setArtifact(info)
 	return nil
 }
 

@@ -3,6 +3,7 @@
 // paper's layout. Run all experiments or select one:
 //
 //	kqr-bench                  # everything
+//	kqr-bench -list            # experiment catalogue, one line each
 //	kqr-bench -exp fig5        # just the precision comparison
 //	kqr-bench -papers 10000    # bigger corpus
 package main
@@ -21,7 +22,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath, diskmode")
+		list    = flag.Bool("list", false, "print every experiment with a one-line description and exit")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
 		confs   = flag.Int("confs", 32, "conferences")
@@ -33,19 +35,58 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "query seeds for fig5 (>1 reports mean±std)")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
 		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline, snapshot, live, repl or hotpath)")
-		strict  = flag.Bool("strict", false, "with -exp hotpath, fail if the warmed fast path allocates (CI regression gate)")
+		strict  = flag.Bool("strict", false, "with -exp hotpath or diskmode, fail on a missed invariant (CI regression gate)")
+		budget  = flag.Int64("budget-kb", 0, "with -exp diskmode, resident table byte budget in KiB (default 512)")
 	)
 	flag.Parse()
 
+	if *list {
+		printCatalogue()
+		return
+	}
 	if err := run(*exp, dblpgen.Config{
 		Seed: *seed, Topics: *topics, Confs: *confs, Authors: *authors, Papers: *papers,
-	}, *n, experiments.TimingConfig{QueriesPerPoint: *queries, Reps: *reps}, *seeds, *csvDir, *jsonOut, *strict); err != nil {
+	}, *n, experiments.TimingConfig{QueriesPerPoint: *queries, Reps: *reps}, *seeds, *csvDir, *jsonOut, *strict, *budget<<10); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, fig5Seeds int, csvDir, jsonOut string, strict bool) error {
+// catalogue lists every experiment in the order the paper (and this
+// repo's extensions) introduce them, with the one-liner -list prints.
+var catalogue = []struct{ name, desc string }{
+	{"table1", "similar-term lists for the paper's three probe terms"},
+	{"table2", "close-term lists with attribute filters"},
+	{"fig5", "suggestion precision vs k against planted ground truth"},
+	{"fig7", "query latency vs number of query terms"},
+	{"fig8", "query latency vs candidates per term"},
+	{"fig9", "query latency vs top-k suggestions requested"},
+	{"fig10", "offline table size vs candidates per term"},
+	{"table3", "end-to-end reformulation examples"},
+	{"synonyms", "planted-synonym recall over the whole vocabulary"},
+	{"ablation", "restart preference, smoothing λ, closeness beam"},
+	{"offline", "offline precompute scaling over worker counts"},
+	{"snapshot", "snapshot cold start vs full recompute (BENCH_snapshot.json)"},
+	{"live", "query availability under live corpus churn (BENCH_live.json)"},
+	{"repl", "leader/follower replication churn (BENCH_repl.json)"},
+	{"cdc", "streamed CDC ingestion soak (BENCH_cdc.json)"},
+	{"hotpath", "zero-alloc decode vs pointer reference (BENCH_hotpath.json)"},
+	{"diskmode", "paged tables under a byte budget vs in-RAM (BENCH_diskmode.json)"},
+}
+
+func printCatalogue() {
+	fmt.Println("experiments (run one with -exp NAME, everything paper-shaped with -exp all):")
+	for _, e := range catalogue {
+		fmt.Printf("  %-9s %s\n", e.name, e.desc)
+	}
+}
+
+func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, fig5Seeds int, csvDir, jsonOut string, strict bool, budget int64) error {
+	if exp == "diskmode" {
+		// Disk mode builds its own engines (warm and disk-backed) over
+		// the corpus; skip the shared Setup below.
+		return runDiskmode(cfg, tcfg, jsonOut, strict, budget)
+	}
 	writeCSV := func(name string, write func(w *os.File) error) error {
 		if csvDir == "" {
 			return nil
@@ -325,7 +366,44 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc or hotpath)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath or diskmode; see -list)", exp)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runDiskmode runs the disk-mode experiment: paged snapshot served
+// under a byte budget, verified bit-identical to in-RAM serving.
+func runDiskmode(cfg dblpgen.Config, tcfg experiments.TimingConfig, jsonOut string, strict bool, budget int64) error {
+	start := time.Now()
+	fmt.Printf("building corpus (seed=%d topics=%d confs=%d authors=%d papers=%d)...\n",
+		cfg.Seed, cfg.Topics, cfg.Confs, cfg.Authors, cfg.Papers)
+	dir, err := os.MkdirTemp("", "kqr-diskmode-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	row, err := experiments.DiskmodeRun(cfg, experiments.DiskmodeConfig{
+		Budget:  budget,
+		Queries: tcfg.QueriesPerPoint,
+		Reps:    tcfg.Reps,
+		Seed:    cfg.Seed,
+		Strict:  strict,
+	}, dir)
+	if err != nil {
+		return fmt.Errorf("diskmode: %w", err)
+	}
+	fmt.Println(experiments.RenderDiskmode(row))
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteDiskmodeJSON(f, cfg, row); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonOut)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

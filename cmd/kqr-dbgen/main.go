@@ -4,7 +4,13 @@
 //
 //	kqr-dbgen                        # stats + topics
 //	kqr-dbgen -papers 10000 -seed 7  # bigger corpus
+//	kqr-dbgen -scale 64              # every dimension ×64 (disk-mode scale)
 //	kqr-dbgen -dump papers | head    # TSV rows
+//
+// -scale multiplies every corpus dimension (topics, conferences,
+// authors, papers) by the given factor from the defaults — the knob
+// that grows the corpus 50–100× past what fits a RAM table budget, for
+// exercising the engine's disk mode and the diskmode benchmark.
 package main
 
 import (
@@ -25,11 +31,20 @@ func main() {
 		confs   = flag.Int("confs", 32, "conferences")
 		authors = flag.Int("authors", 600, "authors")
 		papers  = flag.Int("papers", 3000, "papers")
+		scale   = flag.Int("scale", 1, "multiply every dimension by this factor")
 		dump    = flag.String("dump", "", "dump this table as TSV and exit")
 	)
 	flag.Parse()
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "kqr-dbgen: -scale must be >= 1")
+		os.Exit(2)
+	}
 	if err := run(dblpgen.Config{
-		Seed: *seed, Topics: *topics, Confs: *confs, Authors: *authors, Papers: *papers,
+		Seed:    *seed,
+		Topics:  *topics * *scale,
+		Confs:   *confs * *scale,
+		Authors: *authors * *scale,
+		Papers:  *papers * *scale,
 	}, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "kqr-dbgen:", err)
 		os.Exit(1)

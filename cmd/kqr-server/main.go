@@ -25,6 +25,19 @@
 //	kqr-server -warm -snapshot-save offline.snapshot   # first deploy
 //	kqr-server -snapshot-load offline.snapshot         # every restart
 //
+// For corpora whose offline tables exceed RAM, -disk-mode serves them
+// page-by-page straight from a paged (v2) snapshot instead of decoding
+// them: save one with -snapshot-save-paged, then point -snapshot-load
+// at it with -disk-mode on. Only the page index stays resident; rows
+// fault on demand through a page cache bounded by -table-mem-budget
+// MiB, and /api/metrics gains a "disk" block with hit/miss/eviction
+// counters and resident bytes. -disk-mode refuses -warm and the save
+// flags — both would pull whole tables back into RAM:
+//
+//	kqr-server -snapshot-save-paged offline.paged          # first deploy
+//	kqr-server -snapshot-load offline.paged -disk-mode \
+//	           -table-mem-budget 128                       # bounded restart
+//
 // The serving layer defaults to production posture: a 64 MB response
 // cache with a 5-minute TTL plus request coalescing (-cache-mb 0
 // disables), and a concurrency limit of 4×GOMAXPROCS with a bounded
@@ -94,7 +107,10 @@ type config struct {
 	warm        bool
 	warmWorkers int
 	snapSave    string
+	snapSavePgd string
 	snapLoad    string
+	diskMode    bool
+	tableMemMB  int64
 	cacheMB     int
 	cacheTTL    time.Duration
 	maxInflight int
@@ -118,7 +134,10 @@ func main() {
 	flag.BoolVar(&cfg.warm, "warm", false, "precompute similarity+closeness for the whole vocabulary before serving")
 	flag.IntVar(&cfg.warmWorkers, "precompute-workers", 0, "offline precompute worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.snapSave, "snapshot-save", "", "write the offline tables as a snapshot here after warming (implies -warm)")
+	flag.StringVar(&cfg.snapSavePgd, "snapshot-save-paged", "", "write the offline tables as a paged (v2) snapshot here after warming, for -disk-mode serving (implies -warm)")
 	flag.StringVar(&cfg.snapLoad, "snapshot-load", "", "restore the offline tables from this snapshot at startup (falls back to live compute)")
+	flag.BoolVar(&cfg.diskMode, "disk-mode", false, "serve the offline tables page-by-page from the -snapshot-load file (must be paged/v2) instead of decoding them into RAM")
+	flag.Int64Var(&cfg.tableMemMB, "table-mem-budget", 64, "resident table byte budget in MiB for -disk-mode (page index + decoded-page cache)")
 	flag.IntVar(&cfg.cacheMB, "cache-mb", 64, "response cache size in MiB (0 disables caching and coalescing)")
 	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 5*time.Minute, "response cache entry TTL (0 = no expiry)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0), "max concurrently executing requests (0 = unlimited)")
@@ -148,9 +167,22 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.diskMode {
+		if cfg.snapLoad == "" {
+			return fmt.Errorf("-disk-mode needs -snapshot-load naming a paged snapshot (save one with -snapshot-save-paged)")
+		}
+		if cfg.warm {
+			return fmt.Errorf("-disk-mode conflicts with -warm: warming decodes every table row into RAM, which is exactly what disk mode bounds")
+		}
+		if cfg.snapSave != "" || cfg.snapSavePgd != "" {
+			return fmt.Errorf("-disk-mode cannot save snapshots: the map caches a save reads stay empty when tables are served from disk")
+		}
+	}
 	eng, err := kqr.Open(corpus.Dataset, kqr.Options{
 		PrecomputeWorkers:  cfg.warmWorkers,
 		ArtifactPath:       cfg.snapLoad,
+		DiskMode:           cfg.diskMode,
+		TableMemBudget:     cfg.tableMemMB << 20,
 		Live:               cfg.live,
 		StalenessMaxDeltas: cfg.stalenessN,
 		StalenessMaxAge:    cfg.stalenessT,
@@ -167,6 +199,12 @@ func run(cfg config) error {
 	defer eng.Close()
 	fmt.Printf("dataset: %s\ngraph:   %s\n", corpus.Dataset.Stats(), eng.GraphStats())
 	loaded := eng.Artifact().Loaded
+	if cfg.diskMode {
+		if ds, ok := eng.DiskTables(); ok {
+			fmt.Printf("disk mode: %s faults, tables %.1f MiB on disk, budget %.1f MiB (index %.1f MiB resident)\n",
+				ds.Mode, float64(ds.BlobBytes)/(1<<20), float64(ds.Budget)/(1<<20), float64(ds.MetaBytes)/(1<<20))
+		}
+	}
 	if cfg.snapLoad != "" && !loaded {
 		fmt.Printf("snapshot %s not used (%s); computing live\n", cfg.snapLoad, eng.Artifact().FallbackReason)
 	}
@@ -178,7 +216,7 @@ func run(cfg config) error {
 	}
 	// -snapshot-save without a restored snapshot needs warm tables to be
 	// worth saving, so it implies -warm.
-	warm := cfg.warm || (cfg.snapSave != "" && !loaded)
+	warm := cfg.warm || ((cfg.snapSave != "" || cfg.snapSavePgd != "") && !loaded)
 	if warm {
 		workers := cfg.warmWorkers
 		if workers <= 0 {
@@ -191,14 +229,24 @@ func run(cfg config) error {
 		}
 		fmt.Printf("offline caches hot in %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	if cfg.snapSave != "" {
+	for _, save := range []struct {
+		path  string
+		write func(string) error
+		label string
+	}{
+		{cfg.snapSave, eng.SaveArtifacts, "snapshot"},
+		{cfg.snapSavePgd, eng.SaveArtifactsPaged, "paged snapshot"},
+	} {
+		if save.path == "" {
+			continue
+		}
 		start := time.Now()
-		if err := eng.SaveArtifacts(cfg.snapSave); err != nil {
+		if err := save.write(save.path); err != nil {
 			return err
 		}
-		if st, err := os.Stat(cfg.snapSave); err == nil {
-			fmt.Printf("snapshot saved to %s (%d bytes) in %v\n",
-				cfg.snapSave, st.Size(), time.Since(start).Round(time.Millisecond))
+		if st, err := os.Stat(save.path); err == nil {
+			fmt.Printf("%s saved to %s (%d bytes) in %v\n",
+				save.label, save.path, st.Size(), time.Since(start).Round(time.Millisecond))
 		}
 	}
 

@@ -1,0 +1,72 @@
+package kqr
+
+import (
+	"fmt"
+
+	"kqr/internal/artifact"
+	"kqr/internal/diskmode"
+	"kqr/internal/live"
+)
+
+// DiskStats is the resident-memory and page-cache accounting of a
+// disk-mode engine's table store — budget split, resident bytes,
+// hit/miss/eviction counters. The server exports it verbatim under
+// /api/metrics.
+type DiskStats = diskmode.Stats
+
+// simTableKind maps the engine's similarity mode to the paged section
+// its tables live in. Both walk modes share TableWalk — the
+// fingerprint already distinguishes contextual from individual.
+func (e *Engine) simTableKind() artifact.TableKind {
+	if e.opts.Similarity == Cooccurrence {
+		return artifact.TableCooccur
+	}
+	return artifact.TableWalk
+}
+
+// attachDiskTables opens the paged snapshot at path and installs its
+// page-backed table views into g: the similarity extractor and the
+// closeness store each get a packed view that faults rows from disk
+// through the store's budgeted page cache, and g.Pager takes ownership
+// of the store so retiring the generation closes it. The snapshot must
+// be v2 (SaveArtifactsPaged), carry this engine's fingerprint and
+// vocabulary, and contain both tables the mode needs.
+func (e *Engine) attachDiskTables(g *live.Generation, path string) error {
+	store, err := diskmode.Open(path, e.artifactFingerprint(g), diskmode.Options{
+		Budget: e.opts.TableMemBudget,
+	})
+	if err != nil {
+		return fmt.Errorf("kqr: disk mode: %w", err)
+	}
+	idx := store.Index()
+	if err := live.ValidateVocabulary(g, idx.Classes, idx.Vocabulary); err != nil {
+		store.Close()
+		return fmt.Errorf("kqr: disk mode: %s: %w", path, err)
+	}
+	kind := e.simTableKind()
+	sim := store.Table(kind)
+	if sim == nil {
+		store.Close()
+		return fmt.Errorf("kqr: disk mode: %s has no %s table (saved under a different mode?)", path, kind)
+	}
+	clos := store.Closeness()
+	if clos == nil {
+		store.Close()
+		return fmt.Errorf("kqr: disk mode: %s has no closeness table", path)
+	}
+	g.Sim.InstallPacked(sim)
+	g.Clos.InstallPacked(clos)
+	g.Pager = store
+	return nil
+}
+
+// DiskTables reports the current generation's disk-mode table store
+// statistics. ok is false when the engine is not serving paged tables
+// (not opened with Options.DiskMode, or the generation predates the
+// disk attach).
+func (e *Engine) DiskTables() (DiskStats, bool) {
+	if s, ok := e.cur().Pager.(*diskmode.Store); ok {
+		return s.Stats(), true
+	}
+	return DiskStats{}, false
+}

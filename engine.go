@@ -9,6 +9,7 @@ import (
 	"time"
 	"unicode"
 
+	"kqr/internal/artifact"
 	"kqr/internal/core"
 	"kqr/internal/graph"
 	"kqr/internal/live"
@@ -101,6 +102,21 @@ type Options struct {
 	// or corpus mismatch — is logged and recorded in Engine.Artifact,
 	// and the engine falls back to live computation. Never fatal.
 	ArtifactPath string
+	// DiskMode serves the offline tables directly from a paged (v2)
+	// snapshot at ArtifactPath instead of decoding them into RAM: the
+	// table payloads stay on disk and rows are faulted on demand
+	// through a page cache bounded by TableMemBudget, so the engine can
+	// serve corpora whose tables exceed memory. Requires ArtifactPath
+	// to name a file written by SaveArtifactsPaged; unlike the plain
+	// restore path, a disk-mode open fails rather than falling back —
+	// an operator who bounded table memory must not get an unbounded
+	// engine by accident.
+	DiskMode bool
+	// TableMemBudget bounds resident table bytes in disk mode: the
+	// always-resident page index plus the decoded-page cache (default
+	// 64 MiB). Open fails if the index alone exceeds it. Ignored when
+	// DiskMode is false.
+	TableMemBudget int64
 	// Live enables the delta-ingestion API (Ingest, Promote): the
 	// corpus may change after Open, each promotion building a new
 	// immutable index generation and atomically swapping it in. With
@@ -202,16 +218,34 @@ func Open(d *Dataset, opts Options) (*Engine, error) {
 		mopts.StalenessMaxDeltas = opts.StalenessMaxDeltas
 		mopts.StalenessMaxAge = opts.StalenessMaxAge
 	}
-	if opts.OnRetire != nil {
-		retire := opts.OnRetire
-		mopts.OnRetire = func(g *live.Generation) { retire(g.Epoch) }
+	// The retire hook always runs: a retired generation may own a paged
+	// disk store (g.Pager) that must be closed once it stops being
+	// current. Close drains in-flight page faults before unmapping, so
+	// it runs off the promotion path; late readers fall back to compute.
+	userRetire := opts.OnRetire
+	mopts.OnRetire = func(g *live.Generation) {
+		if g.Pager != nil {
+			go g.Pager.Close()
+		}
+		if userRetire != nil {
+			userRetire(g.Epoch)
+		}
 	}
 	mopts.OnError = opts.OnPromoteError
 	e.mgr, err = live.NewManager(g, cfg, mopts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.ArtifactPath != "" {
+	switch {
+	case opts.DiskMode:
+		if opts.ArtifactPath == "" {
+			return nil, fmt.Errorf("kqr: disk mode requires Options.ArtifactPath (a paged snapshot from SaveArtifactsPaged)")
+		}
+		if err := e.attachDiskTables(g, opts.ArtifactPath); err != nil {
+			return nil, err
+		}
+		e.setArtifact(ArtifactInfo{Loaded: true, Path: opts.ArtifactPath, FormatVersion: artifact.FormatVersionPaged, Disk: true})
+	case opts.ArtifactPath != "":
 		e.loadArtifactsOrFallback(opts.ArtifactPath)
 	}
 	return e, nil

@@ -46,8 +46,9 @@ func Load(r io.Reader, fingerprint string) (*Snapshot, error) {
 	// Version gates the rest of the layout, so it is checked before the
 	// header checksum: a future-version file is "unsupported", not
 	// "corrupt".
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, version, FormatVersion)
+	if version != FormatVersion && version != FormatVersionPaged {
+		return nil, fmt.Errorf("%w: file has v%d, this build reads v%d-v%d",
+			ErrVersion, version, FormatVersion, FormatVersionPaged)
 	}
 	fp := rr.str(maxString)
 	headerCRC := rr.crc
@@ -84,6 +85,12 @@ func Load(r io.Reader, fingerprint string) (*Snapshot, error) {
 			snap.Cooccur = rr.lists()
 		case secCloseness:
 			snap.Closeness = rr.closeness()
+		case secWalkPaged:
+			snap.Walk = rr.pagedLists()
+		case secCooccurPaged:
+			snap.Cooccur = rr.pagedLists()
+		case secClosenessPaged:
+			snap.Closeness = rr.pagedCloseness()
 		default:
 			rr.skip(length) // future section kind: checksum and ignore
 		}
@@ -112,6 +119,8 @@ func Load(r io.Reader, fingerprint string) (*Snapshot, error) {
 type reader struct {
 	r         io.Reader
 	crc       uint32
+	crc2      uint32 // secondary CRC for the paged prelude, when dual
+	dual      bool
 	limit     bool   // inside a section payload?
 	remaining uint64 // payload bytes left when limit is set
 	err       error
@@ -168,6 +177,9 @@ func (r *reader) read(p []byte) {
 		r.remaining -= uint64(len(p))
 	}
 	r.crc = crc32.Update(r.crc, crc32.IEEETable, p)
+	if r.dual {
+		r.crc2 = crc32.Update(r.crc2, crc32.IEEETable, p)
+	}
 }
 
 // block bulk-reads n bytes into the reused scratch buffer — one read

@@ -73,15 +73,20 @@ type Store struct {
 	mu    sync.Mutex
 	cache map[graph.NodeID]map[graph.NodeID]float64
 
-	// pk is the CSR-packed, read-only image of cache published by Pack;
-	// Clos serves from it with a binary probe over one contiguous row —
-	// the decoder's TransFunc hot path — falling back to the map cache
-	// for sources packed after the last Pack.
-	pk atomic.Pointer[packed.ClosTable]
+	// pk is the packed, read-only closeness table published by Pack (a
+	// RAM CSR image of cache) or InstallPacked (a page-backed disk
+	// view); Clos serves from it with a binary probe over one
+	// contiguous row — the decoder's TransFunc hot path — falling back
+	// to the map cache for sources it cannot answer. Boxed because
+	// atomic.Pointer needs a concrete type.
+	pk atomic.Pointer[closeTable]
 
 	flight   flight.Group[graph.NodeID, map[graph.NodeID]float64]
 	searches atomic.Int64 // searches actually executed (cold misses)
 }
+
+// closeTable boxes the published packed.CloseTable for atomic swapping.
+type closeTable struct{ t packed.CloseTable }
 
 // New builds a closeness store over a TAT graph.
 func New(tg *tatgraph.Graph, opts Options) (*Store, error) {
@@ -190,8 +195,8 @@ func (s *Store) Clos(a, b graph.NodeID) float64 {
 	if a == b {
 		return 0
 	}
-	if t := s.pk.Load(); t != nil {
-		if v, ok := t.Lookup(a, b); ok {
+	if b2 := s.pk.Load(); b2 != nil {
+		if v, ok := b2.t.Lookup(a, b); ok {
 			return v
 		}
 	}
@@ -212,13 +217,31 @@ func (s *Store) ClosMap(a, b graph.NodeID) float64 {
 // sorted by descending closeness with node id as tie-break. A nil keep
 // admits every node.
 func (s *Store) CloseNodes(v graph.NodeID, k int, keep func(graph.NodeID) bool) []graph.Scored {
-	m := s.From(v)
-	out := make([]graph.Scored, 0, len(m))
-	for u, c := range m {
-		if keep != nil && !keep(u) {
-			continue
+	var out []graph.Scored
+	if b := s.pk.Load(); b != nil {
+		// A published packed row (RAM or page-backed) avoids the search
+		// and, in disk mode, avoids materializing the row into the map
+		// cache. The sort below makes the order identical to the map
+		// path's.
+		if nodes, scores, ok := b.t.Row(v); ok {
+			out = make([]graph.Scored, 0, len(nodes))
+			for i := range nodes {
+				if keep != nil && !keep(nodes[i]) {
+					continue
+				}
+				out = append(out, graph.Scored{Node: nodes[i], Score: float64(scores[i])})
+			}
 		}
-		out = append(out, graph.Scored{Node: u, Score: c})
+	}
+	if out == nil {
+		m := s.From(v)
+		out = make([]graph.Scored, 0, len(m))
+		for u, c := range m {
+			if keep != nil && !keep(u) {
+				continue
+			}
+			out = append(out, graph.Scored{Node: u, Score: c})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -300,5 +323,14 @@ func (s *Store) Pack() {
 	s.mu.Lock()
 	t := packed.BuildClos(s.tg.CSR().NumNodes(), s.cache)
 	s.mu.Unlock()
-	s.pk.Store(t)
+	s.pk.Store(&closeTable{t: t})
+}
+
+// InstallPacked publishes an externally built closeness table — a
+// page-backed disk view (internal/diskmode) — in place of the
+// RAM-packed cache image. A source the table cannot answer (ok false
+// from Lookup/Row, e.g. a draining disk store) falls back to the map
+// cache and the layered search, exactly like an unwarmed source.
+func (s *Store) InstallPacked(t packed.CloseTable) {
+	s.pk.Store(&closeTable{t: t})
 }

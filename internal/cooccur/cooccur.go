@@ -44,13 +44,17 @@ type Extractor struct {
 	mu    sync.Mutex
 	cache map[graph.NodeID][]graph.Scored
 
-	// pk is the CSR-packed, read-only image of cache published by Pack;
-	// see randomwalk.Extractor for the protocol.
-	pk atomic.Pointer[packed.SimTable]
+	// pk is the packed, read-only table published by Pack or
+	// InstallPacked; see randomwalk.Extractor for the protocol. Boxed
+	// because atomic.Pointer needs a concrete type.
+	pk atomic.Pointer[packedTable]
 
 	flight   flight.Group[graph.NodeID, []graph.Scored]
 	extracts atomic.Int64 // extractions actually executed (cold misses)
 }
+
+// packedTable boxes the published packed.Table for atomic swapping.
+type packedTable struct{ t packed.Table }
 
 // NewExtractor builds a co-occurrence extractor over a TAT graph.
 func NewExtractor(tg *tatgraph.Graph) *Extractor {
@@ -72,6 +76,12 @@ func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error)
 	e.mu.Lock()
 	cached, ok := e.cache[t0]
 	e.mu.Unlock()
+	if !ok {
+		// A published packed table (RAM or page-backed) answers before
+		// any extraction runs; in disk mode this keeps warmed terms out
+		// of the map cache.
+		cached, ok = e.tableRow(t0)
+	}
 	if !ok {
 		// Coalesce concurrent cold misses for t0: the first caller
 		// runs the extraction, the rest block and share its result.
@@ -225,15 +235,37 @@ func (e *Extractor) Pack() {
 	e.mu.Lock()
 	t := packed.BuildSim(e.tg.CSR().NumNodes(), e.cache)
 	e.mu.Unlock()
-	e.pk.Store(t)
+	e.pk.Store(&packedTable{t: t})
+}
+
+// InstallPacked publishes an externally built packed table — a
+// page-backed disk view (internal/diskmode) — in place of the
+// RAM-packed cache image; see randomwalk.Extractor.InstallPacked.
+func (e *Extractor) InstallPacked(t packed.Table) {
+	e.pk.Store(&packedTable{t: t})
+}
+
+// tableRow materializes the published packed row of t0 as a Scored
+// list for the map-shaped read paths; ok is false when no table is
+// published or it has no row for t0.
+func (e *Extractor) tableRow(t0 graph.NodeID) ([]graph.Scored, bool) {
+	nodes, scores, ok := e.SimRow(t0)
+	if !ok {
+		return nil, false
+	}
+	list := make([]graph.Scored, len(nodes))
+	for i := range nodes {
+		list[i] = graph.Scored{Node: nodes[i], Score: float64(scores[i])}
+	}
+	return list, true
 }
 
 // SimRow returns t0's packed candidate row in rank order with ok=false
 // when absent — the allocation-free hot-path view; see
 // randomwalk.Extractor.SimRow.
 func (e *Extractor) SimRow(t0 graph.NodeID) ([]graph.NodeID, []float32, bool) {
-	if t := e.pk.Load(); t != nil {
-		return t.Row(t0)
+	if b := e.pk.Load(); b != nil {
+		return b.t.Row(t0)
 	}
 	return nil, nil, false
 }

@@ -1,0 +1,137 @@
+package diskmode
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"kqr/internal/graph"
+)
+
+// numShards spreads page-cache lock contention; a power of two keeps
+// the index computation one mask (same choice as internal/serving).
+const numShards = 16
+
+// entryOverhead approximates per-page bookkeeping (list element, map
+// bucket slot, entry struct, slice headers) charged against the byte
+// budget on top of the decoded arrays.
+const entryOverhead = 160
+
+// pageKey identifies one blob page of one table within a store.
+type pageKey struct {
+	table uint8 // artifact.TableKind
+	page  uint32
+}
+
+// page is one decoded blob page: the typed halves of its entries. A
+// row is a contiguous sub-slice of both arrays. Immutable once built.
+type page struct {
+	nodes  []graph.NodeID
+	scores []float32
+	size   int64 // charged bytes: decoded arrays + overhead
+}
+
+// pageCache is a sharded LRU over decoded pages with a global byte
+// budget, modeled on internal/serving's response cache. Each shard
+// keeps at least its newest page even when a single page exceeds the
+// per-shard budget (an oversized row's page must be admittable or that
+// row could never be served).
+type pageCache struct {
+	shards    [numShards]cacheShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[pageKey]*list.Element
+	bytes    int64
+	maxBytes int64
+}
+
+type cacheEntry struct {
+	key pageKey
+	pg  *page
+}
+
+// newPageCache builds a cache bounded by maxBytes across all shards.
+func newPageCache(maxBytes int64) *pageCache {
+	c := &pageCache{}
+	per := maxBytes / numShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[pageKey]*list.Element)
+		c.shards[i].maxBytes = per
+	}
+	return c
+}
+
+func (c *pageCache) shard(k pageKey) *cacheShard {
+	h := uint32(k.table)*0x9e3779b1 + k.page*0x85ebca6b
+	return &c.shards[h>>28&(numShards-1)]
+}
+
+// get returns the cached decoded page, counting the probe.
+func (c *pageCache) get(k pageKey) (*page, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	pg := el.Value.(*cacheEntry).pg
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return pg, true
+}
+
+// put admits a freshly decoded page, evicting least-recently-used
+// pages until the shard fits its budget again (the newest page always
+// stays). A concurrent fault of the same page may race here; the
+// second put finds the key present and leaves the cache unchanged —
+// both callers hold valid immutable pages.
+func (c *pageCache) put(k pageKey, pg *page) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	el := s.ll.PushFront(&cacheEntry{key: k, pg: pg})
+	s.items[k] = el
+	s.bytes += pg.size
+	evicted := int64(0)
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		old := s.ll.Back()
+		en := old.Value.(*cacheEntry)
+		s.ll.Remove(old)
+		delete(s.items, en.key)
+		s.bytes -= en.pg.size
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// bytesResident sums the decoded bytes currently held across shards.
+func (c *pageCache) bytesResident() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}

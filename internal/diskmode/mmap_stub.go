@@ -1,0 +1,15 @@
+//go:build !unix
+
+package diskmode
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes non-unix builds take the ReadAt path unconditionally.
+var errNoMmap = errors.New("diskmode: mmap unsupported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(data []byte) error { return nil }

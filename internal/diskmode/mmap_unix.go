@@ -1,0 +1,22 @@
+//go:build unix
+
+package diskmode
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared. Callers fall back
+// to ReadAt when it fails (exotic filesystems, zero-length files).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,289 @@
+package diskmode
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"kqr/internal/artifact"
+	"kqr/internal/graph"
+	"kqr/internal/packed"
+)
+
+// synthSnapshot builds a deterministic snapshot with numNodes rows of
+// pseudo-random (but float32-exact, via Quantize) entries — no corpus
+// needed to exercise the paging machinery.
+func synthSnapshot(numNodes, rowLen int) *artifact.Snapshot {
+	rng := rand.New(rand.NewSource(20120401))
+	s := &artifact.Snapshot{
+		Fingerprint: "diskmode synthetic corpus",
+		Classes:     []string{"t"},
+		Walk:        map[graph.NodeID][]graph.Scored{},
+		Closeness:   map[graph.NodeID]map[graph.NodeID]float64{},
+	}
+	for v := 0; v < numNodes; v++ {
+		s.Vocabulary = append(s.Vocabulary, artifact.Term{Node: graph.NodeID(v), Class: 0, Text: "t"})
+		n := rng.Intn(rowLen + 1)
+		row := make([]graph.Scored, n)
+		for i := range row {
+			row[i] = graph.Scored{
+				Node:  graph.NodeID(rng.Intn(numNodes)),
+				Score: packed.Quantize(rng.Float64()),
+			}
+		}
+		s.Walk[graph.NodeID(v)] = row
+		vec := map[graph.NodeID]float64{}
+		for i := 0; i < n; i++ {
+			vec[graph.NodeID(rng.Intn(numNodes))] = packed.Quantize(rng.Float64())
+		}
+		s.Closeness[graph.NodeID(v)] = vec
+	}
+	return s
+}
+
+// writeSnap writes the snapshot as a paged file under t.TempDir().
+func writeSnap(t *testing.T, s *artifact.Snapshot, pageBytes int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.kqrart")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePaged(f, artifact.PagedOptions{PageBytes: pageBytes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBitIdentity: every row of the page-backed views must be
+// bit-identical to the RAM-backed tables built from the same maps —
+// over the full vocabulary, under a budget small enough to force
+// evictions mid-sweep, in both fault modes.
+func TestBitIdentity(t *testing.T) {
+	const numNodes = 400
+	snap := synthSnapshot(numNodes, 24)
+	path := writeSnap(t, snap, 512)
+	ramSim := packed.BuildSim(numNodes, snap.Walk)
+	ramClos := packed.BuildClos(numNodes, snap.Closeness)
+
+	for _, noMmap := range []bool{false, true} {
+		s, err := Open(path, snap.Fingerprint, Options{Budget: 24 << 10, NoMmap: noMmap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, clos := s.Table(artifact.TableWalk), s.Closeness()
+		if sim == nil || clos == nil {
+			t.Fatal("missing table views")
+		}
+		for v := graph.NodeID(0); int(v) < numNodes; v++ {
+			wantN, wantS, wantOK := ramSim.Row(v)
+			gotN, gotS, gotOK := sim.Row(v)
+			if wantOK != gotOK || len(wantN) != len(gotN) {
+				t.Fatalf("noMmap=%v node %d: row shape mismatch", noMmap, v)
+			}
+			for i := range wantN {
+				if wantN[i] != gotN[i] || wantS[i] != gotS[i] {
+					t.Fatalf("noMmap=%v node %d entry %d: (%d,%v) != (%d,%v)",
+						noMmap, v, i, gotN[i], gotS[i], wantN[i], wantS[i])
+				}
+			}
+			for u := graph.NodeID(0); int(u) < numNodes; u += 7 {
+				wv, wok := ramClos.Lookup(v, u)
+				gv, gok := clos.Lookup(v, u)
+				if wv != gv || wok != gok {
+					t.Fatalf("noMmap=%v clos(%d,%d): (%v,%v) != (%v,%v)", noMmap, v, u, gv, gok, wv, wok)
+				}
+			}
+		}
+		st := s.Stats()
+		if st.Misses == 0 || st.Hits == 0 {
+			t.Fatalf("noMmap=%v: cache counters did not move: %+v", noMmap, st)
+		}
+		if st.BlobBytes <= st.CacheBudget {
+			t.Fatalf("noMmap=%v: test corpus does not exceed its budget: %+v", noMmap, st)
+		}
+		if st.Evictions == 0 {
+			t.Fatalf("noMmap=%v: sweep under budget never evicted: %+v", noMmap, st)
+		}
+		if st.ResidentBytes > st.Budget+numShards*int64(st.CacheBudget/numShards) {
+			t.Fatalf("noMmap=%v: resident %d far exceeds budget %d", noMmap, st.ResidentBytes, st.Budget)
+		}
+		wantMode := "mmap"
+		if noMmap {
+			wantMode = "pread"
+		}
+		if st.Mode != wantMode {
+			t.Fatalf("mode = %q, want %q", st.Mode, wantMode)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBudgetBound: after an over-budget sweep, resident bytes must sit
+// within the configured budget (per-shard granularity: each shard may
+// retain one oversized newest page).
+func TestBudgetBound(t *testing.T) {
+	snap := synthSnapshot(600, 32)
+	path := writeSnap(t, snap, 1024)
+	s, err := Open(path, "", Options{Budget: 48 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sim := s.Table(artifact.TableWalk)
+	for round := 0; round < 3; round++ {
+		for v := graph.NodeID(0); int(v) < 600; v++ {
+			sim.Row(v)
+		}
+	}
+	st := s.Stats()
+	if st.ResidentBytes > st.Budget {
+		t.Fatalf("resident %d over budget %d (%+v)", st.ResidentBytes, st.Budget, st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a tight budget: %+v", st)
+	}
+}
+
+// TestTooSmallBudget: a budget the resident index alone exceeds must
+// fail at Open with an instructive error, not underflow.
+func TestTooSmallBudget(t *testing.T) {
+	path := writeSnap(t, synthSnapshot(300, 16), 0)
+	if _, err := Open(path, "", Options{Budget: 64}); err == nil {
+		t.Fatal("tiny budget accepted")
+	}
+	// A budget that covers the index but leaves the page cache no room
+	// for one largest page per shard must also be rejected: every shard
+	// always keeps its newest page, so such a cache could exceed the
+	// budget it was asked to honor.
+	if _, err := Open(path, "", Options{Budget: 6 << 10}); err == nil {
+		t.Fatal("budget below the per-shard page floor accepted")
+	}
+}
+
+// TestFingerprintAndVersion: Open must surface artifact's typed
+// rejections.
+func TestFingerprintAndVersion(t *testing.T) {
+	snap := synthSnapshot(50, 8)
+	path := writeSnap(t, snap, 0)
+	if _, err := Open(path, "other corpus", Options{}); !errors.Is(err, artifact.ErrFingerprint) {
+		t.Fatalf("err = %v, want ErrFingerprint", err)
+	}
+	// A v1 file has no page index.
+	v1 := filepath.Join(t.TempDir(), "v1.kqrart")
+	f, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(v1, "", Options{}); !errors.Is(err, artifact.ErrVersion) {
+		t.Fatalf("v1 file: err = %v, want ErrVersion", err)
+	}
+}
+
+// TestCorruptPageFallsBack: a blob flip passes Open (the index never
+// reads blobs) but the faulted page fails its CRC — Row must answer
+// ok == false and count the corruption, never return wrong data.
+func TestCorruptPageFallsBack(t *testing.T) {
+	snap := synthSnapshot(100, 16)
+	path := writeSnap(t, snap, 512)
+	idx, err := func() (*artifact.PagedIndex, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return artifact.ReadPagedIndex(f, "")
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := idx.Table(artifact.TableWalk)
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[walk.BlobOff+3] ^= 0x40 // flip inside the first page
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, "", Options{})
+	if err != nil {
+		t.Fatalf("blob corruption must not fail Open: %v", err)
+	}
+	defer s.Close()
+	sim := s.Table(artifact.TableWalk)
+	// Find a node in the first page and fault it.
+	var v graph.NodeID = -1
+	for u := graph.NodeID(0); int(u) < walk.NumNodes; u++ {
+		if walk.Has(u) && walk.Off[u] != walk.Off[u+1] {
+			v = u
+			break
+		}
+	}
+	if v < 0 {
+		t.Fatal("no non-empty row")
+	}
+	if _, _, ok := sim.Row(v); ok {
+		t.Fatal("corrupt page served")
+	}
+	if s.Stats().CorruptPages == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// TestCloseDrainsReaders: Close must block until in-flight readers
+// release, and late readers must get ok == false — run with -race this
+// is the promotion-retires-a-mapping-mid-fault scenario.
+func TestCloseDrainsReaders(t *testing.T) {
+	const numNodes = 300
+	snap := synthSnapshot(numNodes, 16)
+	path := writeSnap(t, snap, 512)
+	s, err := Open(path, "", Options{Budget: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, clos := s.Table(artifact.TableWalk), s.Closeness()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			<-start
+			for i := 0; i < 4000; i++ {
+				v := graph.NodeID(rng.Intn(numNodes))
+				// ok may flip to false at any point once Close begins;
+				// both answers are legal, wrong data is not.
+				if nodes, scores, ok := sim.Row(v); ok && len(nodes) != len(scores) {
+					panic("ragged row")
+				}
+				clos.Lookup(v, graph.NodeID(rng.Intn(numNodes)))
+			}
+		}(int64(g))
+	}
+	close(start)
+	if err := s.Close(); err != nil { // close while readers are mid-fault
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, _, ok := sim.Row(0); ok && len(snap.Walk[0]) > 0 {
+		t.Fatal("closed store still serving")
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

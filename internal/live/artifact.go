@@ -50,18 +50,8 @@ func ArtifactSnapshot(g *Generation, fingerprint string) (*artifact.Snapshot, er
 // carries the same text and class. Failures wrap
 // artifact.ErrFingerprint.
 func RestoreArtifact(g *Generation, snap *artifact.Snapshot) error {
-	if len(snap.Vocabulary) != g.TG.NumTermNodes() {
-		return fmt.Errorf("%w: snapshot has %d vocabulary terms, graph has %d",
-			artifact.ErrFingerprint, len(snap.Vocabulary), g.TG.NumTermNodes())
-	}
-	for _, t := range snap.Vocabulary {
-		if int(t.Node) < 0 || int(t.Node) >= g.TG.NumNodes() ||
-			int(t.Class) >= len(snap.Classes) ||
-			g.TG.TermText(t.Node) != t.Text ||
-			g.TG.Class(t.Node) != snap.Classes[t.Class] {
-			return fmt.Errorf("%w: vocabulary entry for node %d (%q) does not match the graph",
-				artifact.ErrFingerprint, t.Node, t.Text)
-		}
+	if err := ValidateVocabulary(g, snap.Classes, snap.Vocabulary); err != nil {
+		return err
 	}
 	switch sim := g.Sim.(type) {
 	case *randomwalk.Extractor:
@@ -81,5 +71,27 @@ func RestoreArtifact(g *Generation, snap *artifact.Snapshot) error {
 		snap.Closeness = make(map[graph.NodeID]map[graph.NodeID]float64)
 	}
 	g.Clos.Restore(snap.Closeness)
+	return nil
+}
+
+// ValidateVocabulary checks a snapshot's (or paged index's) vocabulary
+// against the generation's graph node by node — the backstop behind
+// every restore and disk attach: node ids in the tables are only
+// meaningful if every term node still carries the same text and class.
+// Failures wrap artifact.ErrFingerprint.
+func ValidateVocabulary(g *Generation, classes []string, vocab []artifact.Term) error {
+	if len(vocab) != g.TG.NumTermNodes() {
+		return fmt.Errorf("%w: snapshot has %d vocabulary terms, graph has %d",
+			artifact.ErrFingerprint, len(vocab), g.TG.NumTermNodes())
+	}
+	for _, t := range vocab {
+		if int(t.Node) < 0 || int(t.Node) >= g.TG.NumNodes() ||
+			int(t.Class) >= len(classes) ||
+			g.TG.TermText(t.Node) != t.Text ||
+			g.TG.Class(t.Node) != classes[t.Class] {
+			return fmt.Errorf("%w: vocabulary entry for node %d (%q) does not match the graph",
+				artifact.ErrFingerprint, t.Node, t.Text)
+		}
+	}
 	return nil
 }

@@ -31,6 +31,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"kqr/internal/closeness"
@@ -38,6 +39,7 @@ import (
 	"kqr/internal/core"
 	"kqr/internal/graph"
 	"kqr/internal/keywordsearch"
+	"kqr/internal/packed"
 	"kqr/internal/randomwalk"
 	"kqr/internal/relstore"
 	"kqr/internal/tatgraph"
@@ -117,6 +119,10 @@ type SimTables interface {
 	Restore(map[graph.NodeID][]graph.Scored)
 	Precompute(ctx context.Context, nodes []graph.NodeID) error
 	Pack()
+	// InstallPacked publishes an externally built packed table (a
+	// page-backed disk view) in place of the RAM-packed cache image —
+	// the disk-mode attach path.
+	InstallPacked(packed.Table)
 }
 
 // Provenance records how a generation came to be — the admin API's
@@ -176,6 +182,14 @@ type Generation struct {
 	Core *core.Engine
 	// Searcher answers keyword search over the tuple graph.
 	Searcher *keywordsearch.Searcher
+	// Pager, when non-nil, owns the paged disk tables this generation's
+	// similarity and closeness views read (a diskmode.Store installed
+	// by the root package's disk mode). Retiring the generation must
+	// Close it — Close drains in-flight page faults before unmapping,
+	// and a reader that faults after the drain falls back to live
+	// computation, so closing is always safe. The Manager's OnRetire
+	// hook is where the root package does this.
+	Pager io.Closer
 	// Provenance records how this generation was built.
 	Provenance Provenance
 }

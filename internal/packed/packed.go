@@ -33,6 +33,36 @@ import (
 	"kqr/internal/graph"
 )
 
+// Table is the read surface a packed similarity table presents to the
+// hot path, satisfied by the RAM-backed SimTable and by the page-backed
+// disk views of internal/diskmode. Callers bind one Table and never
+// branch on the backing: a RAM row and a paged row answer identically
+// (ok false meaning "no packed row — fall back to the extractor's map
+// path"), so swapping RAM for disk is a publication-time decision, not
+// a hot-path one.
+type Table interface {
+	// Row returns v's packed candidate row in rank order; ok is false
+	// when v has no packed row. The slices are read-only views.
+	Row(v graph.NodeID) (nodes []graph.NodeID, scores []float32, ok bool)
+	// Rows returns how many rows are present.
+	Rows() int
+	// Entries returns the total number of packed (node, score) pairs.
+	Entries() int
+	// Bytes returns the byte size of the table's payload — resident
+	// bytes for a RAM table, the full on-disk payload for a paged one.
+	Bytes() int
+}
+
+// CloseTable extends Table with the pairwise probe the decoder's
+// transition function needs, satisfied by ClosTable and by the paged
+// closeness view of internal/diskmode.
+type CloseTable interface {
+	Table
+	// Lookup returns clos(a, b) from a's packed row; ok reports whether
+	// a has a packed row at all (a present row missing b is a true 0).
+	Lookup(a, b graph.NodeID) (float64, bool)
+}
+
 // Quantize rounds a score to the nearest float32 and returns it widened
 // back to float64. It is the single rounding boundary of the packed
 // layout: extractors pass every published score through it, so the
@@ -235,3 +265,9 @@ func (t *ClosTable) Row(a graph.NodeID) (nodes []graph.NodeID, scores []float32,
 	nodes, scores = t.row(a)
 	return nodes, scores, true
 }
+
+// The RAM-backed tables are the canonical Table implementations.
+var (
+	_ Table      = (*SimTable)(nil)
+	_ CloseTable = (*ClosTable)(nil)
+)

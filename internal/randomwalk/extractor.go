@@ -45,14 +45,19 @@ type Extractor struct {
 	mu    sync.Mutex
 	cache map[graph.NodeID][]graph.Scored
 
-	// pk is the CSR-packed, read-only image of cache published by Pack;
+	// pk is the packed, read-only table published by Pack (a RAM-backed
+	// CSR image of cache) or InstallPacked (a page-backed disk view);
 	// the query hot path reads it via SimRow without locks or map
-	// lookups, falling back to the map cache when a row is absent.
-	pk atomic.Pointer[packed.SimTable]
+	// lookups, falling back to the map cache when a row is absent. The
+	// interface is boxed because atomic.Pointer needs a concrete type.
+	pk atomic.Pointer[packedTable]
 
 	flight flight.Group[graph.NodeID, []graph.Scored]
 	walks  atomic.Int64 // walks actually executed (cold misses)
 }
+
+// packedTable boxes the published packed.Table for atomic swapping.
+type packedTable struct{ t packed.Table }
 
 // NewExtractor builds an extractor. Options zero-values get defaults.
 func NewExtractor(tg *tatgraph.Graph, mode PreferenceMode, opts Options) *Extractor {
@@ -83,6 +88,12 @@ func (e *Extractor) SimilarNodes(t0 graph.NodeID, k int) ([]graph.Scored, error)
 	e.mu.Lock()
 	cached, ok := e.cache[t0]
 	e.mu.Unlock()
+	if !ok {
+		// A published packed table (RAM or page-backed) answers before
+		// any walk runs: in disk mode this is what keeps warmed terms
+		// from re-materializing in the map cache.
+		cached, ok = e.tableRow(t0)
+	}
 	if !ok {
 		// Coalesce concurrent cold misses for t0: the first caller runs
 		// the walk, the rest block and share its result.
@@ -241,7 +252,31 @@ func (e *Extractor) Pack() {
 	e.mu.Lock()
 	t := packed.BuildSim(e.tg.CSR().NumNodes(), e.cache)
 	e.mu.Unlock()
-	e.pk.Store(t)
+	e.pk.Store(&packedTable{t: t})
+}
+
+// InstallPacked publishes an externally built packed table — a
+// page-backed disk view (internal/diskmode) — in place of the
+// RAM-packed cache image. A later Pack replaces it wholesale; a row the
+// table cannot serve (ok false, e.g. a draining disk store) falls back
+// to the walk exactly like an unwarmed term.
+func (e *Extractor) InstallPacked(t packed.Table) {
+	e.pk.Store(&packedTable{t: t})
+}
+
+// tableRow materializes the published packed row of t0 as a Scored
+// list, for the map-shaped read paths (SimilarNodes, Sim). ok is false
+// when no table is published or the table has no row for t0.
+func (e *Extractor) tableRow(t0 graph.NodeID) ([]graph.Scored, bool) {
+	nodes, scores, ok := e.SimRow(t0)
+	if !ok {
+		return nil, false
+	}
+	list := make([]graph.Scored, len(nodes))
+	for i := range nodes {
+		list[i] = graph.Scored{Node: nodes[i], Score: float64(scores[i])}
+	}
+	return list, true
 }
 
 // SimRow returns t0's packed candidate row in rank order — the
@@ -250,8 +285,8 @@ func (e *Extractor) Pack() {
 // after the last Pack); callers then fall back to SimilarNodes. The
 // returned slices are read-only views into the published table.
 func (e *Extractor) SimRow(t0 graph.NodeID) ([]graph.NodeID, []float32, bool) {
-	if t := e.pk.Load(); t != nil {
-		return t.Row(t0)
+	if b := e.pk.Load(); b != nil {
+		return b.t.Row(t0)
 	}
 	return nil, nil, false
 }

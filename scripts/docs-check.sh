@@ -1,12 +1,38 @@
 #!/bin/sh
 # docs-check: fail when an exported top-level identifier lacks a doc
-# comment. A cheap grep-style gate (paired with `go vet` in the
-# Makefile) over the packages whose godoc we guarantee: the root kqr
-# package and internal/artifact.
+# comment, or when a checked package has no package doc comment at all
+# (conventionally a doc.go). A cheap grep-style gate (paired with
+# `go vet` in the Makefile) over the packages whose godoc we guarantee.
 #
 # Usage: scripts/docs-check.sh DIR [DIR...]
 set -u
 status=0
+
+# Package doc gate: at least one non-test file per package must carry a
+# // comment block directly above its package clause.
+for dir in "$@"; do
+    has_doc=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        if awk '
+            /^\/\// { prev_comment = 1; next }
+            /^package / { if (prev_comment) found = 1 }
+            { prev_comment = 0 }
+            END { exit !found }
+        ' "$f"; then
+            has_doc=1
+            break
+        fi
+    done
+    if [ "$has_doc" -eq 0 ]; then
+        echo "$dir: package has no package doc comment (add a doc.go)" >&2
+        status=1
+    fi
+done
+
 for dir in "$@"; do
     for f in "$dir"/*.go; do
         [ -e "$f" ] || continue
@@ -27,6 +53,6 @@ for dir in "$@"; do
     done
 done
 if [ "$status" -ne 0 ]; then
-    echo "docs-check: exported identifiers above need doc comments" >&2
+    echo "docs-check: the declarations/packages above need doc comments" >&2
 fi
 exit $status

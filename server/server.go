@@ -360,6 +360,10 @@ type metricsResponse struct {
 	serving.Snapshot
 	Replication *replicationMetrics `json:"replication,omitempty"`
 	CDC         *cdc.ReceiverStatus `json:"cdc,omitempty"`
+	// Disk reports page-cache hit/miss/eviction counters and resident
+	// bytes when the engine serves paged tables from disk
+	// (kqr.Options.DiskMode); absent otherwise.
+	Disk *kqr.DiskStats `json:"disk,omitempty"`
 }
 
 // handleMetrics serves the serving-layer snapshot. It deliberately
@@ -368,6 +372,9 @@ type metricsResponse struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	resp := metricsResponse{Snapshot: s.Metrics(), Replication: s.replication(), CDC: s.cdcStatus()}
+	if ds, ok := s.eng.DiskTables(); ok {
+		resp.Disk = &ds
+	}
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		s.logger.Printf("%s %s: encode: %v", r.Method, r.URL.Path, err)
 	}
