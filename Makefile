@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath bench-diskmode bench-all docs-check fuzz experiments demo clean
+.PHONY: all check build vet test test-race race cover bench bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath bench-diskmode bench-mend bench-all docs-check fuzz experiments demo clean
 
 all: check
 
@@ -22,7 +22,7 @@ vet:
 # package doc comment (vet catches malformed ones; the script catches
 # missing ones).
 docs-check: vet
-	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed internal/cdc internal/diskmode
+	sh scripts/docs-check.sh . internal/artifact internal/live internal/repl internal/packed internal/cdc internal/diskmode internal/mend
 
 test:
 	$(GO) test ./...
@@ -91,8 +91,19 @@ bench-hotpath:
 bench-diskmode:
 	$(GO) run ./cmd/kqr-bench -exp diskmode -strict -queries 200 -reps 10 -json BENCH_diskmode.json
 
+# Query mending: inject typos, run-together and over-split tokens into
+# clean vocabulary queries, then compare precision@5 of the clean
+# baseline, the unmended faulted queries and the mended path, check
+# all-vocabulary byte identity, measure mend-vs-decode p50/p99, and
+# drive promotions under concurrent mended-query load, written as
+# BENCH_mend.json. -strict additionally fails the run if mend p99
+# exceeds 25% of decode p99, so this target doubles as the regression
+# gate.
+bench-mend:
+	$(GO) run ./cmd/kqr-bench -exp mend -strict -json BENCH_mend.json
+
 # Every bench-* target in one pass; each writes its BENCH_*.json.
-bench-all: bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath bench-diskmode
+bench-all: bench-offline bench-snapshot bench-live bench-repl bench-cdc bench-hotpath bench-diskmode bench-mend
 
 # Short fuzz pass over the parsers and the cache fingerprint.
 fuzz:
@@ -104,6 +115,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzLoad$$' -fuzztime=20s ./internal/artifact/
 	$(GO) test -fuzz='FuzzLoadPaged$$' -fuzztime=20s ./internal/artifact/
 	$(GO) test -fuzz=FuzzCDCFrame -fuzztime=20s ./internal/cdc/
+	$(GO) test -fuzz=FuzzMend -fuzztime=20s ./internal/mend/
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md data).
 experiments:

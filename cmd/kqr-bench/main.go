@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath, diskmode")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath, diskmode, mend")
 		list    = flag.Bool("list", false, "print every experiment with a one-line description and exit")
 		seed    = flag.Int64("seed", 20120401, "corpus seed")
 		topics  = flag.Int("topics", 8, "latent topics")
@@ -34,8 +34,8 @@ func main() {
 		reps    = flag.Int("reps", 3, "timing repetitions")
 		seeds   = flag.Int("seeds", 1, "query seeds for fig5 (>1 reports mean±std)")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
-		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline, snapshot, live, repl or hotpath)")
-		strict  = flag.Bool("strict", false, "with -exp hotpath or diskmode, fail on a missed invariant (CI regression gate)")
+		jsonOut = flag.String("json", "", "write experiment data as JSON to this file (with -exp offline, snapshot, live, repl, hotpath, diskmode or mend)")
+		strict  = flag.Bool("strict", false, "with -exp hotpath, diskmode or mend, fail on a missed invariant (CI regression gate)")
 		budget  = flag.Int64("budget-kb", 0, "with -exp diskmode, resident table byte budget in KiB (default 512)")
 	)
 	flag.Parse()
@@ -72,6 +72,7 @@ var catalogue = []struct{ name, desc string }{
 	{"cdc", "streamed CDC ingestion soak (BENCH_cdc.json)"},
 	{"hotpath", "zero-alloc decode vs pointer reference (BENCH_hotpath.json)"},
 	{"diskmode", "paged tables under a byte budget vs in-RAM (BENCH_diskmode.json)"},
+	{"mend", "typo/segmentation mending: precision recovery and overhead (BENCH_mend.json)"},
 }
 
 func printCatalogue() {
@@ -86,6 +87,10 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		// Disk mode builds its own engines (warm and disk-backed) over
 		// the corpus; skip the shared Setup below.
 		return runDiskmode(cfg, tcfg, jsonOut, strict, budget)
+	}
+	if exp == "mend" {
+		// Mending also builds its own live engine; skip the shared Setup.
+		return runMend(cfg, tcfg, jsonOut, strict)
 	}
 	writeCSV := func(name string, write func(w *os.File) error) error {
 		if csvDir == "" {
@@ -366,7 +371,7 @@ func run(exp string, cfg dblpgen.Config, n int, tcfg experiments.TimingConfig, f
 		fmt.Println(experiments.RenderSynonymRecall(rows))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath or diskmode; see -list)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, fig5, fig7, fig8, fig9, fig10, table3, synonyms, ablation, offline, snapshot, live, repl, cdc, hotpath, diskmode or mend; see -list)", exp)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -401,6 +406,38 @@ func runDiskmode(cfg dblpgen.Config, tcfg experiments.TimingConfig, jsonOut stri
 		}
 		defer f.Close()
 		if err := experiments.WriteDiskmodeJSON(f, cfg, row); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonOut)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runMend runs the query-mending experiment: typo/segmentation fault
+// injection, precision recovery against the clean baseline, mend vs
+// decode latency, and promotion under concurrent mended-query load.
+func runMend(cfg dblpgen.Config, tcfg experiments.TimingConfig, jsonOut string, strict bool) error {
+	start := time.Now()
+	fmt.Printf("building corpus (seed=%d topics=%d confs=%d authors=%d papers=%d)...\n",
+		cfg.Seed, cfg.Topics, cfg.Confs, cfg.Authors, cfg.Papers)
+	row, err := experiments.MendRun(cfg, experiments.MendConfig{
+		Queries: 2 * tcfg.QueriesPerPoint,
+		Reps:    tcfg.Reps,
+		Seed:    cfg.Seed,
+		Strict:  strict,
+	})
+	if err != nil {
+		return fmt.Errorf("mend: %w", err)
+	}
+	fmt.Println(experiments.RenderMend(row))
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteMendJSON(f, cfg, row); err != nil {
 			return err
 		}
 		fmt.Println("wrote", jsonOut)

@@ -70,6 +70,19 @@
 //	kqr-server -addr :8080 -live -repl-dir /var/lib/kqr/log   # leader
 //	kqr-server -addr :8081 -follow http://leader:8080         # follower
 //
+// Query mending is on by default (-mend=false disables): each
+// generation carries a deletion-neighbourhood index over its
+// vocabulary, and /api/reformulate repairs misspelled, run-together,
+// and over-split queries before reformulating (mend=on|off|auto
+// parameter, default auto). Repairs are echoed as corrected_query
+// with per-token provenance; a query with no recognizable term
+// answers 422 with nearest-candidate hints, and /api/metrics gains a
+// "mend" block. Queries made of valid terms always pass through
+// byte-identically:
+//
+//	curl 'localhost:8080/api/reformulate?q=probablistic+rankng&k=5'
+//	# → corrected_query "probabilistic ranking", suggestions for it
+//
 // With -cdc (needs -live) the server also accepts streamed change-data
 // capture on POST /cdc/stream: long-lived binary KQRCDC streams from
 // kqr-feed (or any cdc.Feeder) with per-source sequence numbers for
@@ -123,6 +136,7 @@ type config struct {
 	followLag   uint64
 	cdc         bool
 	cdcPending  int
+	mend        bool
 }
 
 func main() {
@@ -150,6 +164,7 @@ func main() {
 	flag.Uint64Var(&cfg.followLag, "follow-max-lag", 1, "max promotions behind the leader before /readyz reports not ready")
 	flag.BoolVar(&cfg.cdc, "cdc", false, "accept streamed CDC ingestion on POST /cdc/stream (needs -live)")
 	flag.IntVar(&cfg.cdcPending, "cdc-max-pending", 0, "withhold CDC acks once this many deltas are staged (0 = receiver default)")
+	flag.BoolVar(&cfg.mend, "mend", true, "repair typo'd/run-together/over-split queries against the vocabulary before reformulation (mend=on|off|auto on /api/reformulate)")
 	flag.Parse()
 	runFn := run
 	if cfg.follow != "" {
@@ -183,6 +198,7 @@ func run(cfg config) error {
 		ArtifactPath:       cfg.snapLoad,
 		DiskMode:           cfg.diskMode,
 		TableMemBudget:     cfg.tableMemMB << 20,
+		Mend:               cfg.mend,
 		Live:               cfg.live,
 		StalenessMaxDeltas: cfg.stalenessN,
 		StalenessMaxAge:    cfg.stalenessT,
@@ -198,6 +214,10 @@ func run(cfg config) error {
 	}
 	defer eng.Close()
 	fmt.Printf("dataset: %s\ngraph:   %s\n", corpus.Dataset.Stats(), eng.GraphStats())
+	if ms, ok := eng.MendStats(); ok {
+		fmt.Printf("mend: %d terms, %d deletion keys, %.1f KiB resident\n",
+			ms.Terms, ms.Keys, float64(ms.Bytes)/(1<<10))
+	}
 	loaded := eng.Artifact().Loaded
 	if cfg.diskMode {
 		if ds, ok := eng.DiskTables(); ok {
@@ -348,6 +368,7 @@ func runFollower(cfg config) error {
 	}
 	eng, err := kqr.Open(kqr.WrapDatabase(snap.DB), kqr.Options{
 		PrecomputeWorkers: cfg.warmWorkers,
+		Mend:              cfg.mend,
 	})
 	if err != nil {
 		return err

@@ -32,8 +32,24 @@ func (e *Engine) simTableKind() artifact.TableKind {
 // be v2 (SaveArtifactsPaged), carry this engine's fingerprint and
 // vocabulary, and contain both tables the mode needs.
 func (e *Engine) attachDiskTables(g *live.Generation, path string) error {
+	// The mend index is resident by construction (lookups must not
+	// fault pages), so it spends from the same table-memory budget the
+	// operator set: whatever it uses is no longer available to the
+	// page cache, and a budget the index alone exhausts fails Open the
+	// same way an undersized page cache would.
+	budget := e.opts.TableMemBudget
+	if g.Mender != nil {
+		if budget <= 0 {
+			budget = diskmode.DefaultBudget
+		}
+		budget -= g.Mender.Bytes()
+		if budget <= 0 {
+			return fmt.Errorf("kqr: disk mode: mend index (%d bytes) exhausts TableMemBudget (%d); raise the budget or disable Options.Mend",
+				g.Mender.Bytes(), e.opts.TableMemBudget)
+		}
+	}
 	store, err := diskmode.Open(path, e.artifactFingerprint(g), diskmode.Options{
-		Budget: e.opts.TableMemBudget,
+		Budget: budget,
 	})
 	if err != nil {
 		return fmt.Errorf("kqr: disk mode: %w", err)

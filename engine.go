@@ -90,6 +90,15 @@ type Options struct {
 	// FoldPlurals folds regular English plurals onto their singular
 	// during tokenization ("queries" and "query" share one term node).
 	FoldPlurals bool
+	// Mend builds a query-mending index over each generation's
+	// vocabulary (internal/mend): a SymSpell-style deletion
+	// neighbourhood plus a segmentation DP that repairs misspelled,
+	// run-together, and over-split queries before reformulation. With
+	// Mend enabled, Engine.Mend and Engine.ReformulateMended become
+	// available (ErrMendDisabled otherwise); plain Reformulate is
+	// unaffected. Queries made entirely of vocabulary terms always
+	// pass through byte-identically.
+	Mend bool
 	// PrecomputeWorkers bounds the goroutines the offline stage
 	// (Warm, PrecomputeTerms) fans out over; <= 0 means
 	// runtime.GOMAXPROCS(0). Per-term extraction is independent, so
@@ -192,6 +201,7 @@ func (e *Engine) liveConfig() (live.Config, error) {
 		SearchMaxRadius:   e.opts.SearchMaxRadius,
 		Phrases:           e.opts.Phrases,
 		FoldPlurals:       e.opts.FoldPlurals,
+		Mend:              e.opts.Mend,
 	}, nil
 }
 

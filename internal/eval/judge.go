@@ -8,18 +8,42 @@ import (
 	"kqr/internal/tatgraph"
 )
 
+// GroundTruth is the schema-agnostic relevance oracle a Judge needs:
+// whether one term may substitute another under the corpus's planted
+// semantics (identical, synonym, or same latent topic/domain). Both
+// planted-topic generators satisfy it — *dblpgen.GroundTruth for the
+// bibliographic schema and *catgen.Corpus for the e-commerce catalog —
+// so evaluation code is independent of which schema produced the
+// corpus.
+type GroundTruth interface {
+	// Related reports whether new may substitute orig.
+	Related(orig, new string) bool
+}
+
 // Judge decides reformulation relevance from ground truth. The paper's
 // evaluators judged "the similarity and semantic closeness of
 // reformulated ones with respect to the input query"; the mechanical
 // analog accepts a reformulated query when every term serves the same
 // latent information need as the original it replaces.
 type Judge struct {
-	gt       *dblpgen.GroundTruth
+	gt       GroundTruth
 	cohesion func(terms []string) bool
 }
 
-// NewJudge wraps a corpus ground truth.
+// NewJudge wraps the bibliographic corpus ground truth — a
+// convenience for the common dblpgen path, equivalent to
+// NewJudgeFrom(gt) with a typed nil check.
 func NewJudge(gt *dblpgen.GroundTruth) (*Judge, error) {
+	if gt == nil {
+		return nil, fmt.Errorf("eval: nil ground truth")
+	}
+	return NewJudgeFrom(gt)
+}
+
+// NewJudgeFrom wraps any schema's ground truth. Pass the generator's
+// relevance oracle (e.g. *catgen.Corpus); judging then works
+// identically across schemas.
+func NewJudgeFrom(gt GroundTruth) (*Judge, error) {
 	if gt == nil {
 		return nil, fmt.Errorf("eval: nil ground truth")
 	}

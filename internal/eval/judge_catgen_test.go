@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"testing"
+
+	"kqr/internal/catgen"
+)
+
+// TestNewJudgeFromCatgen proves the schema-agnostic constructor: a
+// catalog corpus's own relevance oracle drives the same Judge the
+// bibliographic corpus uses, with no dblpgen types involved.
+func TestNewJudgeFromCatgen(t *testing.T) {
+	c, err := catgen.Generate(catgen.Config{Seed: 5, Products: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJudgeFrom(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syn, partner string
+	for a, b := range c.Synonym {
+		syn, partner = a, b
+		break
+	}
+	if syn == "" {
+		t.Fatal("corpus planted no synonyms")
+	}
+	if !j.TermRelevant(syn, partner) {
+		t.Fatalf("planted synonym %q/%q judged irrelevant", syn, partner)
+	}
+	if !j.QueryRelevant([]string{syn}, []string{partner}) {
+		t.Fatal("whole-query judgement failed on a synonym substitution")
+	}
+	if j.TermRelevant(syn, "zzznotaword") {
+		t.Fatal("unknown term judged relevant")
+	}
+	// Cross-domain terms are irrelevant; find two.
+	var otherDomain string
+	for term, d := range c.TermDomain {
+		if d != c.TermDomain[syn] {
+			otherDomain = term
+			break
+		}
+	}
+	if otherDomain != "" && j.TermRelevant(syn, otherDomain) {
+		t.Fatalf("cross-domain pair %q/%q judged relevant", syn, otherDomain)
+	}
+}
+
+func TestNewJudgeFromNil(t *testing.T) {
+	if _, err := NewJudgeFrom(nil); err == nil {
+		t.Fatal("nil ground truth accepted")
+	}
+}

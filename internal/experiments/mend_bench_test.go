@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"kqr"
+	"kqr/internal/dblpgen"
+)
+
+func BenchmarkMendFaulted(b *testing.B) {
+	corpus, err := dblpgen.Generate(dblpgen.Config{Seed: 20120401, Topics: 8, Confs: 32, Authors: 600, Papers: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := kqr.Open(kqr.WrapDatabase(corpus.DB), kqr.Options{Mend: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	faulted := [][]string{
+		{"probabilistc", "ranking"},
+		{"databasesystems", "query"},
+		{"struc", "tured", "data"},
+		{"keywrd", "reformulation"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Mend(faulted[i%len(faulted)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"kqr/internal/core"
 	"kqr/internal/graph"
 	"kqr/internal/keywordsearch"
+	"kqr/internal/mend"
 	"kqr/internal/packed"
 	"kqr/internal/randomwalk"
 	"kqr/internal/relstore"
@@ -105,6 +106,12 @@ type Config struct {
 	Phrases bool
 	// FoldPlurals folds regular English plurals during tokenization.
 	FoldPlurals bool
+	// Mend builds a query-mending index (internal/mend) over the
+	// generation's vocabulary, so typo'd, run-together, and over-split
+	// queries can be repaired before reformulation. The index is built
+	// alongside the packed tables and participates in promotion,
+	// reload, and replication like every other derived structure.
+	Mend bool
 }
 
 // SimTables is the similarity-provider surface a generation needs
@@ -151,12 +158,14 @@ type Provenance struct {
 	CarriedSim  int `json:"carried_sim"`
 	CarriedClos int `json:"carried_clos"`
 	// Timings of the promotion phases. Pack measures repacking the
-	// warmed caches into the CSR tables the hot decode path reads.
+	// warmed caches into the CSR tables the hot decode path reads;
+	// Mend measures building the query-mending deletion index.
 	ApplyDeltas time.Duration `json:"apply_deltas_ns"`
 	BuildGraph  time.Duration `json:"build_graph_ns"`
 	CarryOver   time.Duration `json:"carry_over_ns"`
 	Precompute  time.Duration `json:"precompute_ns"`
 	Pack        time.Duration `json:"pack_ns"`
+	Mend        time.Duration `json:"mend_ns"`
 	Total       time.Duration `json:"total_ns"`
 	// PromotedAt is when the generation became current.
 	PromotedAt time.Time `json:"promoted_at"`
@@ -182,6 +191,9 @@ type Generation struct {
 	Core *core.Engine
 	// Searcher answers keyword search over the tuple graph.
 	Searcher *keywordsearch.Searcher
+	// Mender, when non-nil (Config.Mend), repairs messy queries
+	// against this generation's vocabulary before reformulation.
+	Mender *mend.Mender
 	// Pager, when non-nil, owns the paged disk tables this generation's
 	// similarity and closeness views read (a diskmode.Store installed
 	// by the root package's disk mode). Retiring the generation must
@@ -195,9 +207,10 @@ type Generation struct {
 }
 
 // Build constructs a complete generation over db. The caller assigns
-// Epoch and Provenance (Build fills only the structural fields); the
-// root package's Open and the Manager's Promote both funnel through it
-// so a promoted generation is wired exactly like an initial one.
+// Epoch and Provenance — Build fills the structural fields plus the
+// Provenance.Mend timing of the mend-index construction; the root
+// package's Open and the Manager's Promote both funnel through it so
+// a promoted generation is wired exactly like an initial one.
 func Build(db *relstore.Database, cfg Config) (*Generation, error) {
 	if db == nil {
 		return nil, fmt.Errorf("live: nil database")
@@ -252,5 +265,71 @@ func Build(db *relstore.Database, cfg Config) (*Generation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Generation{DB: db, TG: tg, Sim: sim, Clos: clos, Core: eng, Searcher: searcher}, nil
+	g := &Generation{DB: db, TG: tg, Sim: sim, Clos: clos, Core: eng, Searcher: searcher}
+	if cfg.Mend {
+		start := time.Now()
+		g.Mender = buildMender(tg, clos)
+		g.Provenance.Mend = time.Since(start)
+	}
+	return g, nil
+}
+
+// buildMender constructs the query-mending index for a freshly built
+// generation: a deletion-neighbourhood index over the vocabulary with
+// corpus frequencies, a Resolve hook that mirrors the reformulator's
+// own term resolution (so mending never touches a token the engine
+// could already answer), and a context scorer backed by the
+// generation's closeness store.
+func buildMender(tg *tatgraph.Graph, clos *closeness.Store) *mend.Mender {
+	// bestNode picks the most frequent term node for a text — the one
+	// the closeness scorer should anchor on.
+	bestNode := func(text string) (graph.NodeID, bool) {
+		var best graph.NodeID
+		bf := -1
+		for _, v := range tg.FindTerm(text) {
+			if f := tg.Freq(v); f > bf {
+				best, bf = v, f
+			}
+		}
+		return best, bf >= 0
+	}
+	texts := tg.TermTexts()
+	freqs := make([]int, len(texts))
+	// nodeOf is precomputed for every canonical text: the context
+	// scorer runs per candidate on the query hot path and must not pay
+	// FindTerm's tokenization there.
+	nodeOf := make(map[string]graph.NodeID, len(texts))
+	for i, t := range texts {
+		f := 0
+		for _, v := range tg.FindTerm(t) {
+			f += tg.Freq(v)
+		}
+		freqs[i] = f
+		if v, ok := bestNode(t); ok {
+			nodeOf[t] = v
+		}
+	}
+	ix := mend.NewIndex(texts, freqs)
+	// resolve falls back to FindTerm for texts outside the canonical
+	// vocabulary (anchors may resolve through plural folding).
+	resolve := func(text string) (graph.NodeID, bool) {
+		if v, ok := nodeOf[text]; ok {
+			return v, true
+		}
+		return bestNode(text)
+	}
+	return mend.New(ix, mend.Options{
+		Resolve: func(tok string) bool { return len(tg.FindTerm(tok)) > 0 },
+		Context: func(anchor, cand string) float64 {
+			a, ok := resolve(anchor)
+			if !ok {
+				return 0
+			}
+			c, ok := resolve(cand)
+			if !ok {
+				return 0
+			}
+			return clos.Clos(a, c)
+		},
+	})
 }

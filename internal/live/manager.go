@@ -277,6 +277,11 @@ func (m *Manager) build(ctx context.Context, old *Generation, deltas []Delta) (*
 	next.Clos.Pack()
 	prov.Pack = time.Since(t0)
 
+	// Build timed the mend-index construction into the fresh
+	// generation's provenance; carry it into the promotion record
+	// before overwriting.
+	prov.Mend = next.Provenance.Mend
+
 	prov.Total = time.Since(start)
 	prov.PromotedAt = time.Now()
 	next.Epoch = prov.Epoch

@@ -1,0 +1,272 @@
+package kqr_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kqr"
+	"kqr/synthetic"
+)
+
+// mendEngine opens the bibliography corpus with mending enabled.
+func mendEngine(t *testing.T, opts kqr.Options) *kqr.Engine {
+	t.Helper()
+	opts.Mend = true
+	eng, err := kqr.Open(bibliographyDataset(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+// TestMendVocabularyNoOp feeds every vocabulary term of a generated
+// corpus back through Mend and asserts the pass-through guarantee:
+// a query whose tokens already resolve in the vocabulary comes back
+// byte-identical with Changed=false.
+func TestMendVocabularyNoOp(t *testing.T) {
+	c, err := synthetic.Bibliography(synthetic.Config{Seed: 7, Topics: 4, Confs: 8, Authors: 80, Papers: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kqr.Open(c.Dataset, kqr.Options{Mend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	vocab := eng.Vocabulary()
+	if len(vocab) == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	for i, term := range vocab {
+		// Pair each term with another vocabulary member so multi-token
+		// queries exercise the same guarantee as single tokens.
+		q := []string{term, vocab[(i+1)%len(vocab)]}
+		res, err := eng.Mend(q)
+		if err != nil {
+			t.Fatalf("Mend(%q): %v", q, err)
+		}
+		if res.Changed {
+			t.Fatalf("Mend(%q) changed a pure-vocabulary query: %v", q, res.Terms)
+		}
+		if !reflect.DeepEqual(res.Terms, q) {
+			t.Fatalf("Mend(%q) = %v, not byte-identical", q, res.Terms)
+		}
+		if res.Confidence != 1 {
+			t.Fatalf("Mend(%q) confidence = %v, want 1", q, res.Confidence)
+		}
+	}
+}
+
+// TestMendRepairsAndProvenance checks the three repair classes on the
+// hand-built corpus — a misspelling, a run-together token, and an
+// over-split bigram — and that the per-token provenance names the
+// action taken.
+func TestMendRepairsAndProvenance(t *testing.T) {
+	eng := mendEngine(t, kqr.Options{})
+	cases := []struct {
+		query  []string
+		want   []string
+		action kqr.MendAction
+	}{
+		{[]string{"probabilistc", "data"}, []string{"probabilistic", "data"}, kqr.MendSpell},
+		{[]string{"uncertaindata"}, []string{"uncertain", "data"}, kqr.MendSplit},
+		{[]string{"uncer", "tain", "data"}, []string{"uncertain", "data"}, kqr.MendMerge},
+	}
+	for _, tc := range cases {
+		res, err := eng.Mend(tc.query)
+		if err != nil {
+			t.Fatalf("Mend(%q): %v", tc.query, err)
+		}
+		if !reflect.DeepEqual(res.Terms, tc.want) {
+			t.Errorf("Mend(%q) = %v, want %v", tc.query, res.Terms, tc.want)
+			continue
+		}
+		if !res.Changed {
+			t.Errorf("Mend(%q) reported Changed=false", tc.query)
+		}
+		found := false
+		for _, tok := range res.Tokens {
+			if tok.Action == tc.action {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Mend(%q) provenance %+v lacks action %v", tc.query, res.Tokens, tc.action)
+		}
+		// The repaired query must be servable as-is.
+		if _, err := eng.Reformulate(res.Terms, 3); err != nil {
+			t.Errorf("Reformulate(mended %q): %v", tc.query, err)
+		}
+	}
+}
+
+// TestMendIdempotence asserts Mend(Mend(q)) == Mend(q): once repaired,
+// a query is a fixed point of the mender.
+func TestMendIdempotence(t *testing.T) {
+	eng := mendEngine(t, kqr.Options{})
+	queries := [][]string{
+		{"probabilistc", "data"},
+		{"uncertaindata"},
+		{"uncer", "tain", "query"},
+		{"probabilistic", "evaluaton"},
+		{"xml", "twig", "indexing"},
+	}
+	for _, q := range queries {
+		first, err := eng.Mend(q)
+		if err != nil {
+			t.Fatalf("Mend(%q): %v", q, err)
+		}
+		second, err := eng.Mend(first.Terms)
+		if err != nil {
+			t.Fatalf("re-Mend(%q): %v", first.Terms, err)
+		}
+		if second.Changed {
+			t.Errorf("Mend(%q) is not a fixed point: %v -> %v", q, first.Terms, second.Terms)
+		}
+		if !reflect.DeepEqual(second.Terms, first.Terms) {
+			t.Errorf("re-Mend(%q) = %v, want %v", q, second.Terms, first.Terms)
+		}
+	}
+}
+
+// TestMendNoKnownTermsTypedError drives a query no repair can map onto
+// the vocabulary through ReformulateMended and asserts the typed
+// error: errors.Is matches the sentinel, errors.As recovers the
+// concrete error with the original query, and near-miss tokens carry
+// nearest-candidate hints.
+func TestMendNoKnownTermsTypedError(t *testing.T) {
+	eng := mendEngine(t, kqr.Options{})
+	_, _, err := eng.ReformulateMended([]string{"zzzzzzzz", "qqqqqqqq"}, 5)
+	if !errors.Is(err, kqr.ErrNoKnownTerms) {
+		t.Fatalf("hopeless query error = %v, want ErrNoKnownTerms", err)
+	}
+	var nke *kqr.NoKnownTermsError
+	if !errors.As(err, &nke) {
+		t.Fatalf("error %T does not unwrap to *NoKnownTermsError", err)
+	}
+	if !reflect.DeepEqual(nke.Query, []string{"zzzzzzzz", "qqqqqqqq"}) {
+		t.Errorf("NoKnownTermsError.Query = %v", nke.Query)
+	}
+	if !strings.Contains(err.Error(), "zzzzzzzz") {
+		t.Errorf("error %q does not echo the query", err)
+	}
+	// A mendable query must NOT trip the sentinel.
+	if _, _, err := eng.ReformulateMended([]string{"probabilistc", "data"}, 5); err != nil {
+		t.Fatalf("mendable query: %v", err)
+	}
+}
+
+// TestMendDisabledTypedError asserts every mending entry point fails
+// closed with ErrMendDisabled on an engine opened without Options.Mend.
+func TestMendDisabledTypedError(t *testing.T) {
+	eng, err := kqr.Open(bibliographyDataset(t), kqr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Mend([]string{"probabilistic"}); !errors.Is(err, kqr.ErrMendDisabled) {
+		t.Errorf("Mend on mend-less engine = %v, want ErrMendDisabled", err)
+	}
+	if _, _, err := eng.ReformulateMended([]string{"probabilistic"}, 3); !errors.Is(err, kqr.ErrMendDisabled) {
+		t.Errorf("ReformulateMended on mend-less engine = %v, want ErrMendDisabled", err)
+	}
+	if _, ok := eng.MendStats(); ok {
+		t.Error("MendStats ok=true on mend-less engine")
+	}
+}
+
+// TestMendStats sanity-checks the reported index size against the
+// engine vocabulary.
+func TestMendStats(t *testing.T) {
+	eng := mendEngine(t, kqr.Options{})
+	stats, ok := eng.MendStats()
+	if !ok {
+		t.Fatal("MendStats ok=false on mend-enabled engine")
+	}
+	if want := len(eng.Vocabulary()); stats.Terms != want {
+		t.Errorf("MendStats.Terms = %d, vocabulary has %d", stats.Terms, want)
+	}
+	if stats.Keys < stats.Terms {
+		t.Errorf("MendStats.Keys = %d < Terms = %d", stats.Keys, stats.Terms)
+	}
+	if stats.Bytes <= 0 {
+		t.Errorf("MendStats.Bytes = %d", stats.Bytes)
+	}
+}
+
+// TestMendedQueriesRaceAcrossPromotions hammers ReformulateMended with
+// faulted queries from several goroutines while the main goroutine
+// drives promotions, asserting zero query errors and monotone epochs,
+// and that each new generation's mender learns the freshly ingested
+// vocabulary. Under -race this is the proof that the mending index
+// participates in generation swaps without locks on the hot path.
+func TestMendedQueriesRaceAcrossPromotions(t *testing.T) {
+	eng := mendEngine(t, kqr.Options{Live: true})
+	const readers = 4
+	const promotions = 4
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := uint64(0)
+			for !stop.Load() {
+				epoch := eng.Epoch()
+				if epoch < last {
+					errs <- fmt.Errorf("epoch went backwards: %d after %d", epoch, last)
+					return
+				}
+				last = epoch
+				if _, res, err := eng.ReformulateMended([]string{"probabilistc", "data"}, 3); err != nil {
+					errs <- fmt.Errorf("ReformulateMended at epoch %d: %w", epoch, err)
+					return
+				} else if len(res.Terms) == 0 {
+					errs <- fmt.Errorf("empty mend at epoch %d", epoch)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < promotions; i++ {
+		fresh := fmt.Sprintf("meltdown%d", i)
+		err := eng.Ingest([]kqr.Delta{{
+			Op:    kqr.InsertTuple,
+			Table: "papers",
+			Values: []any{
+				200 + i, fresh + " stream processing", 1,
+			},
+		}})
+		if err != nil {
+			t.Fatalf("promotion %d ingest: %v", i, err)
+		}
+		if _, err := eng.Promote(context.Background()); err != nil {
+			t.Fatalf("promotion %d: %v", i, err)
+		}
+		// The promoted generation's mender must correct a typo of the
+		// term that generation just learned.
+		res, err := eng.Mend([]string{fresh + "x"})
+		if err != nil {
+			t.Fatalf("promotion %d mend: %v", i, err)
+		}
+		if len(res.Terms) != 1 || res.Terms[0] != fresh {
+			t.Fatalf("promotion %d: Mend(%q) = %v, want [%s]", i, fresh+"x", res.Terms, fresh)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

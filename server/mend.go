@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"kqr"
+)
+
+// Query mending over HTTP. /api/reformulate accepts mend=on|off|auto
+// (default auto): "off" reformulates the raw terms exactly as before
+// mending existed, "auto" repairs the query first when the engine was
+// opened with kqr.Options.Mend, and "on" insists on mending — a 400
+// when the engine cannot. A repaired query is echoed back in the
+// response's corrected_query field with per-token provenance in the
+// mend block; a query that mends to nothing answers 422 with
+// nearest-candidate hints. /api/metrics gains a "mend" block, and
+// reformulate cache keys include the mended-terms fingerprint.
+
+// mendCounters tracks how mending engaged across requests. All fields
+// are atomics; the struct is embedded in Server and never copied.
+type mendCounters struct {
+	engaged     atomic.Int64
+	passThrough atomic.Int64
+	mended      atomic.Int64
+	rejected    atomic.Int64
+}
+
+// mendMetrics is the "mend" block of /api/metrics.
+type mendMetrics struct {
+	// Enabled reports whether the engine mends queries.
+	Enabled bool `json:"enabled"`
+	// Engaged counts reformulate requests that went through mending.
+	Engaged int64 `json:"engaged"`
+	// PassThrough counts engaged requests whose query was already
+	// fully vocabulary-resident and passed through byte-identically.
+	PassThrough int64 `json:"pass_through"`
+	// Mended counts engaged requests whose query was repaired.
+	Mended int64 `json:"mended"`
+	// Rejected counts engaged requests no token of which could be
+	// mapped onto the vocabulary (answered 422).
+	Rejected int64 `json:"rejected"`
+	// IndexTerms, IndexKeys and IndexBytes describe the current
+	// generation's deletion-neighbourhood index.
+	IndexTerms int   `json:"index_terms"`
+	IndexKeys  int   `json:"index_keys"`
+	IndexBytes int64 `json:"index_bytes"`
+}
+
+// mendMetricsBlock builds the /api/metrics "mend" block, or nil when
+// the engine does not mend.
+func (s *Server) mendMetricsBlock() *mendMetrics {
+	stats, ok := s.eng.MendStats()
+	if !ok {
+		return nil
+	}
+	return &mendMetrics{
+		Enabled:     true,
+		Engaged:     s.mendCount.engaged.Load(),
+		PassThrough: s.mendCount.passThrough.Load(),
+		Mended:      s.mendCount.mended.Load(),
+		Rejected:    s.mendCount.rejected.Load(),
+		IndexTerms:  stats.Terms,
+		IndexKeys:   stats.Keys,
+		IndexBytes:  stats.Bytes,
+	}
+}
+
+// mendModeParam parses ?mend= into "auto" (default), "on", or "off".
+func mendModeParam(r *http.Request) (string, error) {
+	switch m := r.URL.Query().Get("mend"); m {
+	case "", "auto":
+		return "auto", nil
+	case "on", "off":
+		return m, nil
+	default:
+		return "", badRequest{fmt.Errorf("bad mend parameter %q (want on, off, or auto)", m)}
+	}
+}
+
+// mendEnabled reports whether the engine was opened with query
+// mending.
+func (s *Server) mendEnabled() bool {
+	_, ok := s.eng.MendStats()
+	return ok
+}
+
+// useMend resolves a parsed mend mode against the engine: "auto"
+// engages mending exactly when the engine supports it; "on" demands
+// it (the caller 400s when unsupported); "off" never mends.
+func (s *Server) useMend(mode string) bool {
+	switch mode {
+	case "on":
+		return true
+	case "auto":
+		return s.mendEnabled()
+	default:
+		return false
+	}
+}
+
+// mendFingerprint renders the mended terms for the reformulate cache
+// key, so a cached entry is bound to the exact repaired query it was
+// computed for (and a promotion's vocabulary change, which could mend
+// the same raw query differently, can never serve a stale body — the
+// epoch tag already rotates the key, and the fingerprint makes the
+// dependency explicit).
+func mendFingerprint(res kqr.MendResult) string {
+	fp := "mend="
+	for i, t := range res.Terms {
+		if i > 0 {
+			fp += "\x1f"
+		}
+		fp += t
+	}
+	return fp
+}

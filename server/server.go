@@ -6,6 +6,11 @@
 // paper's Figure 6 layout; the JSON endpoints back it (all GET):
 //
 //	/api/reformulate?q=<query>&k=<n>   ranked substitutive queries
+//	    &mend=on|off|auto              repair typos/segmentation first
+//	                                   (default auto: mend when the engine
+//	                                   can; corrected_query + mend block
+//	                                   echo a repair; 422 + hints when no
+//	                                   token maps onto the vocabulary)
 //	/api/search?q=<query>              keyword-search result trees
 //	/api/similar?term=<t>&k=<n>        offline similarity relation
 //	/api/close?term=<t>&k=<n>&field=   offline closeness relation
@@ -100,6 +105,10 @@ type Server struct {
 	// cdcRecv, when set, mounts POST /cdc/stream and reports CDC
 	// ingestion status in metrics.
 	cdcRecv *cdc.Receiver
+
+	// mendCount tracks how query mending engaged across reformulate
+	// requests (the "mend" block of /api/metrics).
+	mendCount mendCounters
 }
 
 // Option customizes a Server.
@@ -234,9 +243,11 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	return srv.Shutdown(shutdownCtx)
 }
 
-// apiError is the JSON error envelope.
+// apiError is the JSON error envelope. Hints carries the
+// nearest-candidate suggestions of a 422 "no known terms" rejection.
 type apiError struct {
-	Error string `json:"error"`
+	Error string         `json:"error"`
+	Hints []kqr.MendHint `json:"hints,omitempty"`
 }
 
 // badRequest marks handler errors caused by the request (400 rather
@@ -326,14 +337,23 @@ func (s *Server) wrap(name string, h func(r *http.Request) (any, error), key fun
 
 		status := http.StatusOK
 		if err != nil {
+			errBody := apiError{Error: err.Error()}
 			var br badRequest
-			if errors.As(err, &br) {
+			var nk *kqr.NoKnownTermsError
+			switch {
+			case errors.As(err, &nk):
+				// Mending mapped no token onto the vocabulary: the
+				// query is well-formed but unanswerable, so 422 with
+				// the nearest-candidate hints in the body.
+				status = http.StatusUnprocessableEntity
+				errBody.Hints = nk.Hints
+			case errors.As(err, &br):
 				status = http.StatusBadRequest
-			} else {
+			default:
 				status = http.StatusInternalServerError
 			}
 			em.Errors.Add(1)
-			body, _ = encodeBody(apiError{Error: err.Error()})
+			body, _ = encodeBody(errBody)
 			w.WriteHeader(status)
 		}
 		if _, werr := w.Write(body); werr != nil {
@@ -364,6 +384,10 @@ type metricsResponse struct {
 	// bytes when the engine serves paged tables from disk
 	// (kqr.Options.DiskMode); absent otherwise.
 	Disk *kqr.DiskStats `json:"disk,omitempty"`
+	// Mend reports query-mending engagement counters and index size
+	// when the engine mends queries (kqr.Options.Mend); absent
+	// otherwise.
+	Mend *mendMetrics `json:"mend,omitempty"`
 }
 
 // handleMetrics serves the serving-layer snapshot. It deliberately
@@ -371,7 +395,7 @@ type metricsResponse struct {
 // its own health questions.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	resp := metricsResponse{Snapshot: s.Metrics(), Replication: s.replication(), CDC: s.cdcStatus()}
+	resp := metricsResponse{Snapshot: s.Metrics(), Replication: s.replication(), CDC: s.cdcStatus(), Mend: s.mendMetricsBlock()}
 	if ds, ok := s.eng.DiskTables(); ok {
 		resp.Disk = &ds
 	}
@@ -443,7 +467,24 @@ func (s *Server) keyReformulate(r *http.Request) string {
 	if err != nil {
 		return ""
 	}
-	return s.key("reformulate", terms, "k="+strconv.Itoa(k))
+	mode, err := mendModeParam(r)
+	if err != nil {
+		return ""
+	}
+	// The mode is part of the key even when the fingerprint matches:
+	// mend=on echoes the mended form for clean queries where auto
+	// omits it, so the two must never share a body.
+	opts := []string{"k=" + strconv.Itoa(k), "mendmode=" + mode}
+	if s.useMend(mode) {
+		res, merr := s.eng.Mend(terms)
+		if merr != nil {
+			// mend=on against a non-mending engine: let the handler
+			// produce the authoritative 400, uncached.
+			return ""
+		}
+		opts = append(opts, mendFingerprint(res))
+	}
+	return s.key("reformulate", terms, opts...)
 }
 
 func (s *Server) keySearch(r *http.Request) string {
@@ -494,10 +535,15 @@ func (s *Server) keyFacets(r *http.Request) string {
 	return s.key("facets", terms, "k="+strconv.Itoa(k))
 }
 
-// reformulateResponse is the /api/reformulate payload.
+// reformulateResponse is the /api/reformulate payload. The mend
+// fields appear when query mending changed the query (always under
+// mend=on): CorrectedQuery is the repaired query as one parseable
+// string, Mend its per-token provenance.
 type reformulateResponse struct {
-	Query       []string     `json:"query"`
-	Suggestions []suggestion `json:"suggestions"`
+	Query          []string        `json:"query"`
+	CorrectedQuery string          `json:"corrected_query,omitempty"`
+	Mend           *kqr.MendResult `json:"mend,omitempty"`
+	Suggestions    []suggestion    `json:"suggestions"`
 }
 
 type suggestion struct {
@@ -515,11 +561,45 @@ func (s *Server) handleReformulate(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	sugs, err := s.eng.Reformulate(terms, k)
+	mode, err := mendModeParam(r)
 	if err != nil {
-		return nil, badRequest{err}
+		return nil, err
 	}
-	resp := reformulateResponse{Query: terms, Suggestions: make([]suggestion, 0, len(sugs))}
+	if mode == "on" && !s.mendEnabled() {
+		return nil, badRequest{fmt.Errorf("mend=on requires a mending-enabled engine (start kqr-server with -mend)")}
+	}
+
+	resp := reformulateResponse{Query: terms}
+	var sugs []kqr.Suggestion
+	if s.useMend(mode) {
+		s.mendCount.engaged.Add(1)
+		var res kqr.MendResult
+		sugs, res, err = s.eng.ReformulateMended(terms, k)
+		if err != nil {
+			if errors.Is(err, kqr.ErrNoKnownTerms) {
+				s.mendCount.rejected.Add(1)
+				return nil, err // wrap maps this to 422 + hints
+			}
+			return nil, badRequest{err}
+		}
+		if res.Changed {
+			s.mendCount.mended.Add(1)
+		} else {
+			s.mendCount.passThrough.Add(1)
+		}
+		// Echo the repair whenever it changed the query, and always
+		// under mend=on, where the caller asked to see the mended form.
+		if res.Changed || mode == "on" {
+			resp.CorrectedQuery = kqr.Suggestion{Terms: res.Terms}.String()
+			resp.Mend = &res
+		}
+	} else {
+		sugs, err = s.eng.Reformulate(terms, k)
+		if err != nil {
+			return nil, badRequest{err}
+		}
+	}
+	resp.Suggestions = make([]suggestion, 0, len(sugs))
 	for _, sg := range sugs {
 		resp.Suggestions = append(resp.Suggestions, suggestion{
 			Terms: sg.Terms, Query: sg.String(), Score: sg.Score,
